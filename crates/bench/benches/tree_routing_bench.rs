@@ -1,0 +1,54 @@
+//! Criterion micro-benchmarks for the tree-routing constructions
+//! (wall-clock of the simulator, complementing the simulated-round tables).
+
+use bench::Family;
+use congest::Network;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphs::{tree, VertexId};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use tree_routing::{baseline, distributed, router, tz};
+
+fn setup(n: usize) -> (Network, graphs::RootedTree) {
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    let g = Family::ErdosRenyi.generate(n, &mut rng);
+    let t = tree::shortest_path_tree(&g, VertexId(0));
+    (Network::new(g), t)
+}
+
+fn bench_constructions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_construction");
+    for n in [256usize, 1024] {
+        let (net, t) = setup(n);
+        group.bench_with_input(BenchmarkId::new("centralized_tz", n), &n, |b, _| {
+            b.iter(|| tz::build(&t));
+        });
+        group.bench_with_input(BenchmarkId::new("distributed_ours", n), &n, |b, _| {
+            let mut rng = ChaCha8Rng::seed_from_u64(1);
+            b.iter(|| distributed::build_default(&net, &t, &mut rng));
+        });
+        group.bench_with_input(BenchmarkId::new("distributed_prior", n), &n, |b, _| {
+            let mut rng = ChaCha8Rng::seed_from_u64(1);
+            b.iter(|| baseline::build(&net, &t, None, &mut rng));
+        });
+    }
+    group.finish();
+}
+
+fn bench_routing_phase(c: &mut Criterion) {
+    let (net, t) = setup(1024);
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let scheme = distributed::build_default(&net, &t, &mut rng).scheme;
+    c.bench_function("tree_route_1024", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            let src = VertexId(i % 1024);
+            let dst = VertexId((i * 7 + 13) % 1024);
+            i = i.wrapping_add(1);
+            router::route(&t, &scheme, src, dst).unwrap()
+        });
+    });
+}
+
+criterion_group!(benches, bench_constructions, bench_routing_phase);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Figure S1 (derived): construction rounds versus `n`.
+//!
+//! The paper's bounds say tree-routing construction takes `Õ(√n + D)` rounds
+//! (Theorem 2) and the general scheme `(n^{1/2+1/k} + D)·polylog` (Theorem
+//! 3). This sweep measures simulated rounds across `n` and reports the
+//! empirical log-log growth exponent, which should sit near `0.5` (tree) and
+//! `0.5 + 1/k` (graph) once polylog factors are absorbed.
+//!
+//! Run with: `cargo run --release -p bench --bin fig_rounds_vs_n`
+
+use bench::{log_log_slope, print_header, print_row, Family};
+use congest::Network;
+use graphs::{tree, VertexId};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use routing::{build, BuildParams};
+use tree_routing::distributed;
+
+fn main() {
+    let widths = [8, 10, 12];
+
+    println!("== Fig S1a: tree-routing construction rounds vs n (Theorem 2) ==");
+    print_header(&["n", "D", "rounds"], &widths);
+    let mut pts = Vec::new();
+    for n in [256usize, 512, 1024, 2048, 4096, 8192] {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x51 + n as u64);
+        let g = Family::ErdosRenyi.generate(n, &mut rng);
+        let t = tree::shortest_path_tree(&g, VertexId(0));
+        let net = Network::new(g);
+        let out = distributed::build_default(&net, &t, &mut rng);
+        print_row(
+            &[
+                n.to_string(),
+                out.bfs_depth.to_string(),
+                out.ledger.rounds().to_string(),
+            ],
+            &widths,
+        );
+        pts.push((n as f64, out.ledger.rounds() as f64));
+    }
+    println!(
+        "empirical exponent: {:.3}  (Õ(√n + D) predicts ≈ 0.5 + o(1) from log factors)\n",
+        log_log_slope(&pts)
+    );
+
+    println!("== Fig S1b: general-scheme construction rounds vs n (Theorem 3, k = 2) ==");
+    print_header(&["n", "D", "rounds"], &widths);
+    let mut pts = Vec::new();
+    for n in [128usize, 256, 512, 1024] {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x52 + n as u64);
+        let g = Family::ErdosRenyi.generate(n, &mut rng);
+        let built = build(&g, &BuildParams::new(2), &mut rng);
+        print_row(
+            &[
+                n.to_string(),
+                built.report.bfs_depth.to_string(),
+                built.report.rounds.to_string(),
+            ],
+            &widths,
+        );
+        pts.push((n as f64, built.report.rounds as f64));
+    }
+    println!(
+        "empirical exponent: {:.3}  ((n^(1/2+1/k)+D)·polylog predicts ≈ 1.0 for k=2 plus log slack)",
+        log_log_slope(&pts)
+    );
+}

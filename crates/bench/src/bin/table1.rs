@@ -1,0 +1,116 @@
+//! Regenerates the paper's **Table 1**: distributed compact routing schemes
+//! for general graphs — rounds, table size, label size, stretch, and memory
+//! per vertex, for the centralized Thorup–Zwick reference, the prior
+//! distributed construction, and this paper's low-memory construction.
+//!
+//! Run with: `cargo run --release -p bench --bin table1`
+
+use bench::{print_header, print_row, Family};
+use graphs::{properties, VertexId};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use routing::{build, router, BuildParams, Mode};
+
+fn main() {
+    let configs: &[(usize, usize)] = &[(256, 2), (512, 2), (1024, 2), (256, 3), (512, 3), (512, 4)];
+    let widths = [14, 6, 3, 9, 7, 7, 8, 9, 8];
+    println!("== Table 1: distributed compact routing for general graphs ==\n");
+    for family in [Family::ErdosRenyi, Family::Geometric] {
+        println!("--- family: {} ---", family.name());
+        print_header(
+            &[
+                "scheme", "n", "k", "rounds", "table", "label", "stretch", "memory", "4k-5",
+            ],
+            &widths,
+        );
+        for &(n, k) in configs {
+            let mut rng = ChaCha8Rng::seed_from_u64(0xFEED + (n * 31 + k) as u64);
+            let g = family.generate(n, &mut rng);
+            let _d = properties::hop_diameter(&g).expect("connected");
+            let srcs: Vec<VertexId> = (0..n as u32)
+                .step_by((n / 8).max(1))
+                .map(VertexId)
+                .collect();
+            // The [ABNLP90]-style sparse-cover row: O(k) stretch bought with
+            // much larger (log Λ-factor) tables/labels and sequential
+            // ball-growing construction (~n^{1+1/k} rounds, modelled).
+            {
+                let cover = routing::covers::build_cover_scheme(&g, k);
+                let mut worst: f64 = 1.0;
+                for &s in &srcs {
+                    let exact = graphs::shortest_paths::dijkstra(&g, s);
+                    for t in g.vertices() {
+                        if t == s {
+                            continue;
+                        }
+                        let trace = routing::covers::route_cover(&g, &cover, s, t)
+                            .expect("connected");
+                        worst = worst.max(trace.weight as f64 / exact[t.index()] as f64);
+                    }
+                }
+                let rounds: usize = cover
+                    .scales
+                    .iter()
+                    .map(|sc| sc.clusters.iter().map(|c| c.len()).sum::<usize>())
+                    .sum();
+                print_row(
+                    &[
+                        "ABNLP90-style".into(),
+                        n.to_string(),
+                        k.to_string(),
+                        rounds.to_string(),
+                        cover.max_table_words().to_string(),
+                        cover.max_label_words().to_string(),
+                        format!("{worst:.2}"),
+                        "~table".into(),
+                        (4 * k - 5).to_string(),
+                    ],
+                    &widths,
+                );
+            }
+            for (name, mode) in [
+                ("TZ01b", Mode::Centralized),
+                ("EN16b-style", Mode::DistributedPrior),
+                ("this paper", Mode::DistributedLowMemory),
+            ] {
+                let mut mode_rng = ChaCha8Rng::seed_from_u64(0xABCD + (n + k) as u64);
+                let built = build(&g, &BuildParams::new(k).with_mode(mode), &mut mode_rng);
+                let stats = router::measure_stretch(
+                    &g,
+                    &built.scheme,
+                    &srcs,
+                    router::Selection::SourceOptimal,
+                );
+                print_row(
+                    &[
+                        name.into(),
+                        n.to_string(),
+                        k.to_string(),
+                        if mode == Mode::Centralized {
+                            "NA".into()
+                        } else {
+                            built.report.rounds.to_string()
+                        },
+                        built.report.max_table_words.to_string(),
+                        built.report.max_label_words.to_string(),
+                        format!("{:.2}", stats.max),
+                        if mode == Mode::Centralized {
+                            "NA".into()
+                        } else {
+                            built.report.memory.max_peak().to_string()
+                        },
+                        (4 * k - 5).to_string(),
+                    ],
+                    &widths,
+                );
+            }
+            println!();
+        }
+    }
+    println!("expected shape: this paper's table/label sizes match the centralized");
+    println!("reference (tables ~n^(1/k), labels O(k log n)) while the prior row pays");
+    println!("a log factor on labels and extra memory; every measured stretch is at");
+    println!("most the implemented guarantee 4k-3 (below 4k-5 for k >= 3 in practice;");
+    println!("see EXPERIMENTS.md on the 4k-5 refinement); rounds for both distributed");
+    println!("rows are ~n^(1/2+1/k)+D up to polylog factors.");
+}

@@ -1,0 +1,459 @@
+//! The synchronous round engine: runs per-vertex state machines and measures
+//! rounds, messages, congestion, and memory.
+
+use graphs::graph::Arc;
+use graphs::VertexId;
+
+use crate::memory::MemoryMeter;
+use crate::message::WordSized;
+use crate::network::Network;
+
+/// A per-vertex protocol state machine.
+///
+/// One instance exists per vertex. A protocol may only read its own state,
+/// the identity/ports of its neighbors (via [`Ctx`]), and the messages
+/// delivered to it this round — this is what makes the simulation faithful to
+/// the model.
+pub trait VertexProtocol {
+    /// The message type exchanged by this protocol.
+    type Msg: Clone + WordSized;
+
+    /// Called once before the first round; may send initial messages.
+    fn init(&mut self, ctx: &mut Ctx<'_, Self::Msg>);
+
+    /// Called every round with the messages delivered this round (sent by
+    /// neighbors in the previous round).
+    fn round(&mut self, ctx: &mut Ctx<'_, Self::Msg>, inbox: &[(VertexId, Self::Msg)]);
+
+    /// Vertex-local termination flag. The engine stops when every vertex is
+    /// done and no messages are in flight.
+    fn is_done(&self) -> bool;
+
+    /// Words of memory this vertex currently holds; polled after every round
+    /// to maintain the per-vertex peak.
+    fn memory_words(&self) -> usize;
+}
+
+/// The view a protocol instance has of its environment during a round.
+pub struct Ctx<'a, M> {
+    me: VertexId,
+    arcs: &'a [Arc],
+    round: u64,
+    outbox: Vec<(VertexId, M)>,
+}
+
+impl<'a, M: Clone> Ctx<'a, M> {
+    /// This vertex's identity.
+    pub fn me(&self) -> VertexId {
+        self.me
+    }
+
+    /// Arcs to this vertex's neighbors (index = port number).
+    pub fn neighbors(&self) -> &'a [Arc] {
+        self.arcs
+    }
+
+    /// The current round number (0 during `init`).
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Queue a message to neighbor `to` for delivery next round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is not a neighbor — CONGEST only has edge-local
+    /// communication.
+    pub fn send(&mut self, to: VertexId, msg: M) {
+        debug_assert!(
+            self.arcs.iter().any(|a| a.to == to),
+            "{} attempted to message non-neighbor {}",
+            self.me,
+            to
+        );
+        self.outbox.push((to, msg));
+    }
+
+    /// Queue the same message to every neighbor.
+    pub fn send_all(&mut self, msg: M) {
+        for i in 0..self.arcs.len() {
+            let to = self.arcs[i].to;
+            self.outbox.push((to, msg.clone()));
+        }
+    }
+}
+
+/// Engine configuration.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Hard stop after this many rounds (protocol bugs shouldn't hang tests).
+    pub max_rounds: u64,
+    /// Maximum words a vertex may send over one edge in one round (the
+    /// CONGEST RAM cap; messages above it are recorded as violations).
+    pub edge_words_per_round: usize,
+    /// Panic on congestion violations instead of recording them.
+    pub strict_congestion: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            max_rounds: 1_000_000,
+            edge_words_per_round: 4,
+            strict_congestion: false,
+        }
+    }
+}
+
+/// Measurements from one engine run.
+#[derive(Clone, Debug, Default)]
+pub struct RunStats {
+    /// Rounds executed (init is not a round).
+    pub rounds: u64,
+    /// Total messages delivered.
+    pub messages: u64,
+    /// Total words delivered.
+    pub words: u64,
+    /// The worst words-per-edge-per-round observed.
+    pub max_edge_words: usize,
+    /// Number of (edge, round) pairs exceeding the configured cap.
+    pub congestion_violations: u64,
+    /// Whether the run terminated before `max_rounds`.
+    pub completed: bool,
+    /// Per-vertex peak memory, polled after each round.
+    pub memory: MemoryMeter,
+}
+
+/// The synchronous engine.
+///
+/// # Examples
+///
+/// See [`crate::bfs`] for a complete protocol.
+#[derive(Debug, Default)]
+pub struct Engine {
+    config: EngineConfig,
+}
+
+impl Engine {
+    /// An engine with default configuration.
+    pub fn new() -> Self {
+        Engine {
+            config: EngineConfig::default(),
+        }
+    }
+
+    /// An engine with explicit configuration.
+    pub fn with_config(config: EngineConfig) -> Self {
+        Engine { config }
+    }
+
+    /// Run `protocols` (one per vertex, indexed by vertex id) on `network`
+    /// until quiescence or the round cap.
+    ///
+    /// Returns the final protocol states and the run statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `protocols.len()` differs from the network size, or on a
+    /// congestion violation when `strict_congestion` is set.
+    pub fn run<P: VertexProtocol>(
+        &self,
+        network: &Network,
+        mut protocols: Vec<P>,
+    ) -> (Vec<P>, RunStats) {
+        let n = network.len();
+        assert_eq!(protocols.len(), n, "one protocol instance per vertex");
+        let mut stats = RunStats {
+            memory: MemoryMeter::new(n),
+            ..RunStats::default()
+        };
+
+        // inboxes[v] = messages to deliver to v at the start of the next round.
+        let mut inboxes: Vec<Vec<(VertexId, P::Msg)>> = vec![Vec::new(); n];
+
+        // Init phase (round 0 sends).
+        for v in 0..n {
+            let vid = VertexId(v as u32);
+            let mut ctx = Ctx {
+                me: vid,
+                arcs: network.ports(vid),
+                round: 0,
+                outbox: Vec::new(),
+            };
+            protocols[v].init(&mut ctx);
+            self.dispatch(network, vid, ctx.outbox, &mut inboxes, &mut stats);
+            stats.memory.set(vid, protocols[v].memory_words());
+        }
+
+        let mut sent_last_round = inboxes.iter().any(|b| !b.is_empty());
+        loop {
+            let in_flight = inboxes.iter().any(|b| !b.is_empty());
+            let all_done = protocols.iter().all(VertexProtocol::is_done);
+            if all_done && !in_flight {
+                stats.completed = true;
+                break;
+            }
+            // Quiescence: protocols are message-driven, so once a round passes
+            // with nothing sent and nothing in flight, no state can change.
+            if !in_flight && !sent_last_round {
+                stats.completed = all_done;
+                break;
+            }
+            if stats.rounds >= self.config.max_rounds {
+                break;
+            }
+            stats.rounds += 1;
+
+            let delivered = std::mem::replace(&mut inboxes, vec![Vec::new(); n]);
+            let words_before = stats.messages;
+            for (v, inbox) in delivered.into_iter().enumerate() {
+                let vid = VertexId(v as u32);
+                if inbox.is_empty() && protocols[v].is_done() {
+                    continue;
+                }
+                let mut ctx = Ctx {
+                    me: vid,
+                    arcs: network.ports(vid),
+                    round: stats.rounds,
+                    outbox: Vec::new(),
+                };
+                protocols[v].round(&mut ctx, &inbox);
+                self.dispatch(network, vid, ctx.outbox, &mut inboxes, &mut stats);
+                stats.memory.set(vid, protocols[v].memory_words());
+            }
+            sent_last_round = stats.messages > words_before;
+        }
+        (protocols, stats)
+    }
+
+    fn dispatch<M: Clone + WordSized>(
+        &self,
+        _network: &Network,
+        from: VertexId,
+        outbox: Vec<(VertexId, M)>,
+        inboxes: &mut [Vec<(VertexId, M)>],
+        stats: &mut RunStats,
+    ) {
+        // Congestion accounting: words per destination this round.
+        let mut per_edge: Vec<(VertexId, usize)> = Vec::new();
+        for (to, msg) in outbox {
+            let w = msg.words();
+            stats.messages += 1;
+            stats.words += w as u64;
+            match per_edge.iter_mut().find(|(t, _)| *t == to) {
+                Some((_, acc)) => *acc += w,
+                None => per_edge.push((to, w)),
+            }
+            inboxes[to.index()].push((from, msg));
+        }
+        for (to, w) in per_edge {
+            stats.max_edge_words = stats.max_edge_words.max(w);
+            if w > self.config.edge_words_per_round {
+                stats.congestion_violations += 1;
+                assert!(
+                    !self.config.strict_congestion,
+                    "congestion violation: {from} sent {w} words to {to} in one round"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphs::{GraphBuilder, Weight};
+
+    /// A toy protocol: the root floods a token; each vertex records the hop
+    /// count at which it first heard it.
+    struct Flood {
+        is_root: bool,
+        heard_at: Option<u64>,
+    }
+
+    impl VertexProtocol for Flood {
+        type Msg = u64;
+
+        fn init(&mut self, ctx: &mut Ctx<'_, u64>) {
+            if self.is_root {
+                self.heard_at = Some(0);
+                ctx.send_all(0);
+            }
+        }
+
+        fn round(&mut self, ctx: &mut Ctx<'_, u64>, inbox: &[(VertexId, u64)]) {
+            if self.heard_at.is_none() {
+                if let Some(&(_, h)) = inbox.first() {
+                    self.heard_at = Some(h + 1);
+                    ctx.send_all(h + 1);
+                }
+            }
+        }
+
+        fn is_done(&self) -> bool {
+            self.heard_at.is_some()
+        }
+
+        fn memory_words(&self) -> usize {
+            2
+        }
+    }
+
+    fn path_network(n: usize) -> Network {
+        let mut b = GraphBuilder::new(n);
+        for v in 1..n {
+            b.add_edge(VertexId((v - 1) as u32), VertexId(v as u32), 1 as Weight);
+        }
+        Network::new(b.build())
+    }
+
+    fn flood(n: usize) -> Vec<Flood> {
+        (0..n)
+            .map(|v| Flood {
+                is_root: v == 0,
+                heard_at: None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn flood_reaches_everyone_in_hop_rounds() {
+        let net = path_network(6);
+        let (protos, stats) = Engine::new().run(&net, flood(6));
+        assert!(stats.completed);
+        for (v, p) in protos.iter().enumerate() {
+            assert_eq!(p.heard_at, Some(v as u64));
+        }
+        // Last vertex hears at round 5; one more round may drain its echo.
+        assert!(stats.rounds >= 5 && stats.rounds <= 7, "rounds={}", stats.rounds);
+    }
+
+    #[test]
+    fn stats_count_messages_and_words() {
+        let net = path_network(3);
+        let (_, stats) = Engine::new().run(&net, flood(3));
+        assert!(stats.messages > 0);
+        assert_eq!(stats.words, stats.messages); // 1-word messages
+        assert_eq!(stats.max_edge_words, 1);
+        assert_eq!(stats.congestion_violations, 0);
+    }
+
+    #[test]
+    fn memory_meter_polled() {
+        let net = path_network(3);
+        let (_, stats) = Engine::new().run(&net, flood(3));
+        assert_eq!(stats.memory.max_peak(), 2);
+    }
+
+    #[test]
+    fn round_cap_stops_nonterminating_protocols() {
+        /// Never done, ping-pongs forever.
+        struct Chatter;
+        impl VertexProtocol for Chatter {
+            type Msg = u64;
+            fn init(&mut self, ctx: &mut Ctx<'_, u64>) {
+                ctx.send_all(0);
+            }
+            fn round(&mut self, ctx: &mut Ctx<'_, u64>, _: &[(VertexId, u64)]) {
+                ctx.send_all(0);
+            }
+            fn is_done(&self) -> bool {
+                false
+            }
+            fn memory_words(&self) -> usize {
+                0
+            }
+        }
+        let net = path_network(2);
+        let engine = Engine::with_config(EngineConfig {
+            max_rounds: 10,
+            ..EngineConfig::default()
+        });
+        let (_, stats) = engine.run(&net, vec![Chatter, Chatter]);
+        assert!(!stats.completed);
+        assert_eq!(stats.rounds, 10);
+    }
+
+    #[test]
+    fn quiescence_stops_stalled_protocols() {
+        /// Never done, never sends — quiesces immediately.
+        struct Stubborn;
+        impl VertexProtocol for Stubborn {
+            type Msg = u64;
+            fn init(&mut self, _: &mut Ctx<'_, u64>) {}
+            fn round(&mut self, _: &mut Ctx<'_, u64>, _: &[(VertexId, u64)]) {}
+            fn is_done(&self) -> bool {
+                false
+            }
+            fn memory_words(&self) -> usize {
+                0
+            }
+        }
+        let net = path_network(2);
+        let (_, stats) = Engine::new().run(&net, vec![Stubborn, Stubborn]);
+        assert!(!stats.completed);
+        assert_eq!(stats.rounds, 0);
+    }
+
+    #[test]
+    fn congestion_violations_recorded() {
+        /// Sends a fat message to its single neighbor once.
+        struct Fat {
+            sent: bool,
+        }
+        impl VertexProtocol for Fat {
+            type Msg = Vec<u64>;
+            fn init(&mut self, ctx: &mut Ctx<'_, Vec<u64>>) {
+                if !self.sent && ctx.me() == VertexId(0) {
+                    ctx.send(VertexId(1), vec![0; 100]);
+                }
+                self.sent = true;
+            }
+            fn round(&mut self, _: &mut Ctx<'_, Vec<u64>>, _: &[(VertexId, Vec<u64>)]) {}
+            fn is_done(&self) -> bool {
+                self.sent
+            }
+            fn memory_words(&self) -> usize {
+                1
+            }
+        }
+        let net = path_network(2);
+        let (_, stats) = Engine::new().run(&net, vec![Fat { sent: false }, Fat { sent: false }]);
+        assert_eq!(stats.congestion_violations, 1);
+        assert_eq!(stats.max_edge_words, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "congestion violation")]
+    fn strict_congestion_panics() {
+        struct Fat;
+        impl VertexProtocol for Fat {
+            type Msg = Vec<u64>;
+            fn init(&mut self, ctx: &mut Ctx<'_, Vec<u64>>) {
+                if ctx.me() == VertexId(0) {
+                    ctx.send(VertexId(1), vec![0; 100]);
+                }
+            }
+            fn round(&mut self, _: &mut Ctx<'_, Vec<u64>>, _: &[(VertexId, Vec<u64>)]) {}
+            fn is_done(&self) -> bool {
+                true
+            }
+            fn memory_words(&self) -> usize {
+                0
+            }
+        }
+        let net = path_network(2);
+        let engine = Engine::with_config(EngineConfig {
+            strict_congestion: true,
+            ..EngineConfig::default()
+        });
+        engine.run(&net, vec![Fat, Fat]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one protocol instance per vertex")]
+    fn protocol_count_must_match() {
+        let net = path_network(3);
+        Engine::new().run(&net, flood(2));
+    }
+}

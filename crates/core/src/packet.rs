@@ -1,0 +1,506 @@
+//! The routing phase as a *real* CONGEST protocol.
+//!
+//! [`crate::router`] walks the forwarding rule centrally (fast, used for
+//! stretch measurement). This module runs the same rule as a genuine
+//! message-passing protocol on the [`congest::Engine`]: each vertex's state
+//! is exactly its routing table, and the packet on the wire carries exactly
+//! `Header(M) = (tree root, accumulated weight)` plus the target's tree
+//! label — `O(log n)` words, checked against the engine's congestion meter.
+//! Delivery takes one round per hop, by construction.
+//!
+//! Only the paper's tree-scheme family is supported (the prior baseline's
+//! packets would carry its `O(log² n)` labels).
+
+use congest::engine::{Ctx, Engine, EngineConfig, VertexProtocol};
+use congest::{Network, RunStats, WordSized};
+use graphs::{VertexId, Weight};
+use tree_routing::types::{route_step, RouteAction, TreeLabel};
+
+use crate::scheme::{RoutingScheme, RoutingTable, TreeLabelKind, TreeTableKind};
+
+/// The packet on the wire: header + target tree label.
+#[derive(Clone, Debug)]
+pub struct Packet {
+    /// Header: the tree the sender committed to.
+    pub tree_root: VertexId,
+    /// Header: weight accumulated so far (diagnostic, one word).
+    pub weight: Weight,
+    /// The target's label in that tree.
+    pub label: TreeLabel,
+}
+
+impl WordSized for Packet {
+    fn words(&self) -> usize {
+        2 + self.label.words()
+    }
+}
+
+/// Per-vertex protocol state: the vertex's own routing table, nothing else.
+#[derive(Clone, Debug)]
+struct PacketVertex {
+    table: RoutingTable,
+    /// Set when this vertex delivered the packet (round number).
+    delivered: Option<(u64, Weight)>,
+    /// The packet to inject at init (source only).
+    inject: Option<Packet>,
+    failed: bool,
+}
+
+impl PacketVertex {
+    fn handle(&mut self, ctx: &mut Ctx<'_, Packet>, mut packet: Packet) {
+        let me = ctx.me();
+        let Some(entry) = self.table.entry(packet.tree_root) else {
+            self.failed = true;
+            return;
+        };
+        let TreeTableKind::Ours(table) = &entry.table else {
+            self.failed = true;
+            return;
+        };
+        match route_step(me, table, &packet.label) {
+            Some(RouteAction::Deliver) => {
+                self.delivered = Some((ctx.round(), packet.weight));
+            }
+            Some(RouteAction::Forward(next)) => {
+                let Some(arc) = ctx.neighbors().iter().find(|a| a.to == next) else {
+                    self.failed = true;
+                    return;
+                };
+                packet.weight += arc.weight;
+                ctx.send(next, packet);
+            }
+            None => self.failed = true,
+        }
+    }
+}
+
+impl VertexProtocol for PacketVertex {
+    type Msg = Packet;
+
+    fn init(&mut self, ctx: &mut Ctx<'_, Packet>) {
+        if let Some(p) = self.inject.take() {
+            self.handle(ctx, p);
+        }
+    }
+
+    fn round(&mut self, ctx: &mut Ctx<'_, Packet>, inbox: &[(VertexId, Packet)]) {
+        for (_, p) in inbox.iter().cloned() {
+            self.handle(ctx, p);
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        true // stateless forwarding; the engine drains in-flight packets
+    }
+
+    fn memory_words(&self) -> usize {
+        self.table.words()
+    }
+}
+
+/// Result of a packet simulation.
+#[derive(Clone, Debug)]
+pub struct PacketReport {
+    /// Whether the packet arrived.
+    pub delivered: bool,
+    /// Round of delivery = number of hops.
+    pub rounds: u64,
+    /// Weight the header accumulated (equals the routed path weight).
+    pub weight: Weight,
+    /// Size of the packet in words (header + label).
+    pub packet_words: usize,
+    /// Engine statistics (congestion, messages, memory).
+    pub stats: RunStats,
+}
+
+/// Send one packet from `src` to `dst` through the engine, using the
+/// source-optimal tree choice.
+///
+/// # Panics
+///
+/// Panics if the scheme was built in prior-baseline mode.
+pub fn send(
+    network: &Network,
+    scheme: &RoutingScheme,
+    src: VertexId,
+    dst: VertexId,
+) -> PacketReport {
+    // Source decision, as in the central router.
+    let label = &scheme.labels[dst.index()];
+    let src_table = &scheme.tables[src.index()];
+    let mut chosen: Option<(&crate::scheme::LabelEntry, Weight)> = None;
+    for e in &label.entries {
+        if let Some(te) = src_table.entry(e.pivot) {
+            let cost = te.dist.saturating_add(e.dist);
+            if chosen.map_or(true, |(_, c)| cost < c) {
+                chosen = Some((e, cost));
+            }
+        }
+    }
+    let Some((entry, _)) = chosen else {
+        return PacketReport {
+            delivered: false,
+            rounds: 0,
+            weight: 0,
+            packet_words: 0,
+            stats: RunStats::default(),
+        };
+    };
+    let TreeLabelKind::Ours(tree_label) = &entry.tree_label else {
+        panic!("packet simulation supports the paper's tree scheme only");
+    };
+    let packet = Packet {
+        tree_root: entry.pivot,
+        weight: 0,
+        label: tree_label.clone(),
+    };
+    let packet_words = packet.words();
+
+    let protos: Vec<PacketVertex> = network
+        .graph()
+        .vertices()
+        .map(|v| PacketVertex {
+            table: scheme.tables[v.index()].clone(),
+            delivered: None,
+            inject: (v == src).then(|| packet.clone()),
+            failed: false,
+        })
+        .collect();
+    let engine = Engine::with_config(EngineConfig {
+        // The packet is the message; its size is the legal per-edge budget.
+        edge_words_per_round: packet_words,
+        ..EngineConfig::default()
+    });
+    let (protos, stats) = engine.run(network, protos);
+    let delivered = protos.iter().find_map(|p| p.delivered);
+    PacketReport {
+        delivered: delivered.is_some(),
+        rounds: delivered.map_or(0, |(r, _)| r),
+        weight: delivered.map_or(0, |(_, w)| w),
+        packet_words,
+        stats,
+    }
+}
+
+/// A packet under load, with an id so deliveries can be matched up.
+#[derive(Clone, Debug)]
+pub struct LoadedPacket {
+    /// Index into the submitted batch.
+    pub id: u32,
+    /// The committed tree.
+    pub tree_root: VertexId,
+    /// Accumulated weight.
+    pub weight: Weight,
+    /// Target tree label.
+    pub label: TreeLabel,
+}
+
+impl WordSized for LoadedPacket {
+    fn words(&self) -> usize {
+        3 + self.label.words()
+    }
+}
+
+/// Per-vertex protocol for batched traffic: FIFO queues per outgoing edge,
+/// one packet per edge per round — real store-and-forward congestion.
+#[derive(Clone, Debug)]
+struct LoadedVertex {
+    table: RoutingTable,
+    queues: std::collections::HashMap<VertexId, std::collections::VecDeque<LoadedPacket>>,
+    delivered: Vec<(u32, u64, Weight)>,
+    inject: Vec<LoadedPacket>,
+    dropped: u32,
+}
+
+impl LoadedVertex {
+    fn classify(&mut self, ctx: &Ctx<'_, LoadedPacket>, mut packet: LoadedPacket, round: u64) {
+        let me = ctx.me();
+        let step = self
+            .table
+            .entry(packet.tree_root)
+            .and_then(|entry| match &entry.table {
+                TreeTableKind::Ours(t) => route_step(me, t, &packet.label),
+                TreeTableKind::Prior(_) => None,
+            });
+        match step {
+            Some(RouteAction::Deliver) => self.delivered.push((packet.id, round, packet.weight)),
+            Some(RouteAction::Forward(next)) => {
+                match ctx.neighbors().iter().find(|a| a.to == next) {
+                    Some(arc) => {
+                        packet.weight += arc.weight;
+                        self.queues.entry(next).or_default().push_back(packet);
+                    }
+                    None => self.dropped += 1,
+                }
+            }
+            None => self.dropped += 1,
+        }
+    }
+
+    fn flush(&mut self, ctx: &mut Ctx<'_, LoadedPacket>) {
+        let nexts: Vec<VertexId> = self.queues.keys().copied().collect();
+        for next in nexts {
+            if let Some(q) = self.queues.get_mut(&next) {
+                if let Some(p) = q.pop_front() {
+                    ctx.send(next, p);
+                }
+                if q.is_empty() {
+                    self.queues.remove(&next);
+                }
+            }
+        }
+    }
+}
+
+impl VertexProtocol for LoadedVertex {
+    type Msg = LoadedPacket;
+
+    fn init(&mut self, ctx: &mut Ctx<'_, LoadedPacket>) {
+        let injected = std::mem::take(&mut self.inject);
+        for p in injected {
+            self.classify(ctx, p, 0);
+        }
+        self.flush(ctx);
+    }
+
+    fn round(&mut self, ctx: &mut Ctx<'_, LoadedPacket>, inbox: &[(VertexId, LoadedPacket)]) {
+        for (_, p) in inbox.iter().cloned() {
+            self.classify(ctx, p, ctx.round());
+        }
+        self.flush(ctx);
+    }
+
+    fn is_done(&self) -> bool {
+        self.queues.is_empty()
+    }
+
+    fn memory_words(&self) -> usize {
+        self.table.words()
+            + self
+                .queues
+                .values()
+                .flat_map(|q| q.iter().map(WordSized::words))
+                .sum::<usize>()
+    }
+}
+
+/// Result of a batched simulation.
+#[derive(Clone, Debug)]
+pub struct LoadReport {
+    /// Per packet (by submission index): delivery round and routed weight,
+    /// `None` if dropped or undeliverable.
+    pub deliveries: Vec<Option<(u64, Weight)>>,
+    /// Packets dropped by a stuck rule or missing entry.
+    pub dropped: u32,
+    /// Engine statistics (the memory meter now includes queue occupancy).
+    pub stats: RunStats,
+}
+
+/// Inject one packet per `(src, dst)` pair simultaneously and run the
+/// network until all traffic drains. Store-and-forward with one packet per
+/// edge per round, so the delivery time of a packet is its hop count plus
+/// the queueing delay its path suffered — the congestion behavior of
+/// compact routing under load.
+pub fn send_many(
+    network: &Network,
+    scheme: &RoutingScheme,
+    pairs: &[(VertexId, VertexId)],
+) -> LoadReport {
+    // Source decisions, as in `send`.
+    let mut inject: Vec<Vec<LoadedPacket>> = vec![Vec::new(); network.len()];
+    let mut undeliverable = vec![false; pairs.len()];
+    for (id, &(src, dst)) in pairs.iter().enumerate() {
+        let label = &scheme.labels[dst.index()];
+        let src_table = &scheme.tables[src.index()];
+        let mut chosen: Option<(&crate::scheme::LabelEntry, Weight)> = None;
+        for e in &label.entries {
+            if let Some(te) = src_table.entry(e.pivot) {
+                let cost = te.dist.saturating_add(e.dist);
+                if chosen.map_or(true, |(_, c)| cost < c) {
+                    chosen = Some((e, cost));
+                }
+            }
+        }
+        match chosen {
+            Some((entry, _)) => {
+                let TreeLabelKind::Ours(tree_label) = &entry.tree_label else {
+                    panic!("packet simulation supports the paper's tree scheme only");
+                };
+                inject[src.index()].push(LoadedPacket {
+                    id: id as u32,
+                    tree_root: entry.pivot,
+                    weight: 0,
+                    label: tree_label.clone(),
+                });
+            }
+            None => undeliverable[id] = true,
+        }
+    }
+    let max_words = inject
+        .iter()
+        .flatten()
+        .map(WordSized::words)
+        .max()
+        .unwrap_or(4);
+    let protos: Vec<LoadedVertex> = network
+        .graph()
+        .vertices()
+        .map(|v| LoadedVertex {
+            table: scheme.tables[v.index()].clone(),
+            queues: std::collections::HashMap::new(),
+            delivered: Vec::new(),
+            inject: std::mem::take(&mut inject[v.index()]),
+            dropped: 0,
+        })
+        .collect();
+    let engine = Engine::with_config(EngineConfig {
+        edge_words_per_round: max_words,
+        ..EngineConfig::default()
+    });
+    let (protos, stats) = engine.run(network, protos);
+    let mut deliveries: Vec<Option<(u64, Weight)>> = vec![None; pairs.len()];
+    let mut dropped = 0;
+    for p in &protos {
+        dropped += p.dropped;
+        for &(id, round, weight) in &p.delivered {
+            deliveries[id as usize] = Some((round, weight));
+        }
+    }
+    LoadReport {
+        deliveries,
+        dropped,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router;
+    use crate::scheme::{build, BuildParams};
+    use graphs::generators;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn setup(n: usize, seed: u64) -> (Network, RoutingScheme) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = generators::erdos_renyi_connected(n, 3.0 / n as f64, 1..=9, &mut rng);
+        let built = build(&g, &BuildParams::new(2), &mut rng);
+        (Network::new(g), built.scheme)
+    }
+
+    #[test]
+    fn packet_matches_central_router() {
+        let (net, scheme) = setup(60, 601);
+        for (s, t) in [(0u32, 59u32), (5, 30), (42, 7)] {
+            let report = send(&net, &scheme, VertexId(s), VertexId(t));
+            assert!(report.delivered);
+            let central =
+                router::route(net.graph(), &scheme, VertexId(s), VertexId(t)).unwrap();
+            assert_eq!(report.weight, central.weight);
+            assert_eq!(report.rounds as usize, central.hops());
+        }
+    }
+
+    #[test]
+    fn packet_to_self_delivers_in_zero_rounds() {
+        let (net, scheme) = setup(30, 602);
+        let report = send(&net, &scheme, VertexId(3), VertexId(3));
+        assert!(report.delivered);
+        assert_eq!(report.rounds, 0);
+        assert_eq!(report.weight, 0);
+    }
+
+    #[test]
+    fn packet_size_is_logarithmic() {
+        let (net, scheme) = setup(100, 603);
+        let report = send(&net, &scheme, VertexId(0), VertexId(99));
+        assert!(report.delivered);
+        // Header (2) + label (1 + 2·light); light ≤ log2(n).
+        assert!(report.packet_words <= 2 + 1 + 2 * 7, "{}", report.packet_words);
+        assert_eq!(report.stats.congestion_violations, 0);
+    }
+
+    #[test]
+    fn undeliverable_packet_reports_cleanly() {
+        let mut b = graphs::GraphBuilder::new(4);
+        b.add_edge(VertexId(0), VertexId(1), 1);
+        b.add_edge(VertexId(2), VertexId(3), 1);
+        let g = b.build();
+        let mut rng = ChaCha8Rng::seed_from_u64(604);
+        let built = build(&g, &BuildParams::new(2), &mut rng);
+        let net = Network::new(g);
+        let report = send(&net, &built.scheme, VertexId(0), VertexId(3));
+        assert!(!report.delivered);
+    }
+
+    #[test]
+    fn batch_delivers_everything_with_queueing_delay() {
+        let (net, scheme) = setup(80, 606);
+        let g = net.graph();
+        let pairs: Vec<(VertexId, VertexId)> = (0..40u32)
+            .map(|i| (VertexId(i % 80), VertexId((i * 37 + 11) % 80)))
+            .filter(|(a, b)| a != b)
+            .collect();
+        let report = send_many(&net, &scheme, &pairs);
+        assert_eq!(report.dropped, 0);
+        for (id, &(s, t)) in pairs.iter().enumerate() {
+            let (round, weight) = report.deliveries[id].expect("delivered");
+            let central = router::route(g, &scheme, s, t).unwrap();
+            // Same path weight as the uncongested router; delivery no
+            // earlier than the hop count (queueing only adds delay).
+            assert_eq!(weight, central.weight, "packet {id}");
+            assert!(round as usize >= central.hops(), "packet {id}");
+        }
+        assert_eq!(report.stats.congestion_violations, 0);
+    }
+
+    #[test]
+    fn hotspot_traffic_queues_but_drains() {
+        // Everyone sends to one sink: heavy congestion near the sink, yet
+        // every packet arrives.
+        let (net, scheme) = setup(50, 607);
+        let sink = VertexId(0);
+        let pairs: Vec<(VertexId, VertexId)> =
+            (1..50u32).map(|i| (VertexId(i), sink)).collect();
+        let report = send_many(&net, &scheme, &pairs);
+        assert_eq!(report.dropped, 0);
+        let delivered = report.deliveries.iter().flatten().count();
+        assert_eq!(delivered, 49);
+        // The last arrival is later than the distance-only bound would be —
+        // serialization at the sink's incident edges forces it.
+        let last = report
+            .deliveries
+            .iter()
+            .flatten()
+            .map(|&(r, _)| r)
+            .max()
+            .unwrap();
+        let sink_degree = net.graph().degree(sink) as u64;
+        assert!(
+            last >= 49 / sink_degree.max(1),
+            "last arrival {last} beats the sink-capacity bound"
+        );
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let (net, scheme) = setup(20, 608);
+        let report = send_many(&net, &scheme, &[]);
+        assert!(report.deliveries.is_empty());
+        assert_eq!(report.stats.rounds, 0);
+    }
+
+    #[test]
+    fn vertex_memory_equals_its_table() {
+        let (net, scheme) = setup(50, 605);
+        let report = send(&net, &scheme, VertexId(1), VertexId(40));
+        let max_table = scheme
+            .tables
+            .iter()
+            .map(congest::WordSized::words)
+            .max()
+            .unwrap();
+        assert_eq!(report.stats.memory.max_peak(), max_table);
+    }
+}

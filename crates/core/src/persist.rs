@@ -1,0 +1,342 @@
+//! Persisting a built routing scheme to bytes and loading it back.
+//!
+//! Preprocessing is the expensive phase; deployments compute the scheme once
+//! and ship each vertex its table and label. This module provides a compact,
+//! versioned wire format (varint-based, reusing
+//! [`tree_routing::encode`]'s primitives) for whole schemes built in the
+//! paper's modes ([`Mode::Centralized`] / [`Mode::DistributedLowMemory`]);
+//! the prior-baseline mode exists for comparison only and is not
+//! serialized.
+
+use graphs::VertexId;
+use tree_routing::encode::{read_varint, write_varint};
+use tree_routing::types::{TreeLabel, TreeTable};
+
+use crate::scheme::{
+    LabelEntry, Mode, RoutingLabel, RoutingScheme, RoutingTable, TableEntry, TreeLabelKind,
+    TreeTableKind,
+};
+
+const MAGIC: &[u8; 4] = b"DRS1";
+
+/// Why decoding failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PersistError {
+    /// Missing or wrong magic/version header.
+    BadHeader,
+    /// Truncated or malformed varint stream.
+    Malformed,
+    /// The scheme used the prior-baseline tree family.
+    UnsupportedMode,
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::BadHeader => write!(f, "bad magic or version header"),
+            PersistError::Malformed => write!(f, "malformed scheme bytes"),
+            PersistError::UnsupportedMode => {
+                write!(f, "prior-baseline schemes are not serializable")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+fn write_opt(buf: &mut Vec<u8>, v: Option<VertexId>) {
+    write_varint(buf, v.map_or(0, |x| u64::from(x.0) + 1));
+}
+
+fn read_opt(buf: &[u8], pos: &mut usize) -> Result<Option<VertexId>, PersistError> {
+    let raw = read_varint(buf, pos).ok_or(PersistError::Malformed)?;
+    Ok(if raw == 0 {
+        None
+    } else {
+        Some(VertexId((raw - 1) as u32))
+    })
+}
+
+fn rv(buf: &[u8], pos: &mut usize) -> Result<u64, PersistError> {
+    read_varint(buf, pos).ok_or(PersistError::Malformed)
+}
+
+fn write_tree_table(buf: &mut Vec<u8>, t: &TreeTable) {
+    write_varint(buf, t.enter);
+    write_varint(buf, t.exit - t.enter);
+    write_opt(buf, t.parent);
+    write_opt(buf, t.heavy);
+}
+
+fn read_tree_table(buf: &[u8], pos: &mut usize) -> Result<TreeTable, PersistError> {
+    let enter = rv(buf, pos)?;
+    let span = rv(buf, pos)?;
+    let parent = read_opt(buf, pos)?;
+    let heavy = read_opt(buf, pos)?;
+    Ok(TreeTable {
+        enter,
+        exit: enter + span,
+        parent,
+        heavy,
+    })
+}
+
+fn write_tree_label(buf: &mut Vec<u8>, l: &TreeLabel) {
+    write_varint(buf, l.enter);
+    write_varint(buf, l.light.len() as u64);
+    for &(p, c) in &l.light {
+        write_varint(buf, u64::from(p.0));
+        write_varint(buf, u64::from(c.0));
+    }
+}
+
+fn read_tree_label(buf: &[u8], pos: &mut usize) -> Result<TreeLabel, PersistError> {
+    let enter = rv(buf, pos)?;
+    let count = rv(buf, pos)? as usize;
+    if count > buf.len() {
+        return Err(PersistError::Malformed);
+    }
+    let mut light = Vec::with_capacity(count);
+    for _ in 0..count {
+        let p = VertexId(rv(buf, pos)? as u32);
+        let c = VertexId(rv(buf, pos)? as u32);
+        light.push((p, c));
+    }
+    Ok(TreeLabel { enter, light })
+}
+
+/// Serialize a scheme.
+///
+/// # Errors
+///
+/// [`PersistError::UnsupportedMode`] for prior-baseline schemes.
+pub fn encode_scheme(s: &RoutingScheme) -> Result<Vec<u8>, PersistError> {
+    if s.mode == Mode::DistributedPrior {
+        return Err(PersistError::UnsupportedMode);
+    }
+    let mut buf = Vec::new();
+    buf.extend_from_slice(MAGIC);
+    write_varint(&mut buf, s.k as u64);
+    write_varint(&mut buf, match s.mode {
+        Mode::Centralized => 0,
+        Mode::DistributedLowMemory => 1,
+        Mode::DistributedPrior => unreachable!("rejected above"),
+    });
+    write_varint(&mut buf, s.tables.len() as u64);
+    for table in &s.tables {
+        write_varint(&mut buf, table.entries.len() as u64);
+        for e in &table.entries {
+            let TreeTableKind::Ours(t) = &e.table else {
+                return Err(PersistError::UnsupportedMode);
+            };
+            write_varint(&mut buf, u64::from(e.root.0));
+            write_varint(&mut buf, e.level as u64);
+            write_varint(&mut buf, e.dist);
+            write_tree_table(&mut buf, t);
+        }
+    }
+    for label in &s.labels {
+        write_varint(&mut buf, label.entries.len() as u64);
+        for e in &label.entries {
+            let TreeLabelKind::Ours(l) = &e.tree_label else {
+                return Err(PersistError::UnsupportedMode);
+            };
+            write_varint(&mut buf, e.level as u64);
+            write_varint(&mut buf, u64::from(e.pivot.0));
+            write_varint(&mut buf, e.dist);
+            write_tree_label(&mut buf, l);
+        }
+    }
+    for pivots in &s.pivot_info {
+        write_varint(&mut buf, pivots.len() as u64);
+        for &(p, d) in pivots {
+            write_varint(&mut buf, u64::from(p.0));
+            write_varint(&mut buf, d);
+        }
+    }
+    Ok(buf)
+}
+
+/// Deserialize a scheme.
+///
+/// # Errors
+///
+/// [`PersistError`] on any malformed input.
+pub fn decode_scheme(buf: &[u8]) -> Result<RoutingScheme, PersistError> {
+    if buf.len() < 4 || &buf[..4] != MAGIC {
+        return Err(PersistError::BadHeader);
+    }
+    let mut pos = 4;
+    let k = rv(buf, &mut pos)? as usize;
+    let mode = match rv(buf, &mut pos)? {
+        0 => Mode::Centralized,
+        1 => Mode::DistributedLowMemory,
+        _ => return Err(PersistError::BadHeader),
+    };
+    let n = rv(buf, &mut pos)? as usize;
+    if n > buf.len() {
+        return Err(PersistError::Malformed);
+    }
+    let mut tables = Vec::with_capacity(n);
+    for _ in 0..n {
+        let count = rv(buf, &mut pos)? as usize;
+        if count > buf.len() {
+            return Err(PersistError::Malformed);
+        }
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            let root = VertexId(rv(buf, &mut pos)? as u32);
+            let level = rv(buf, &mut pos)? as usize;
+            let dist = rv(buf, &mut pos)?;
+            let t = read_tree_table(buf, &mut pos)?;
+            entries.push(TableEntry {
+                root,
+                level,
+                dist,
+                table: TreeTableKind::Ours(t),
+            });
+        }
+        tables.push(RoutingTable { entries });
+    }
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        let count = rv(buf, &mut pos)? as usize;
+        if count > buf.len() {
+            return Err(PersistError::Malformed);
+        }
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            let level = rv(buf, &mut pos)? as usize;
+            let pivot = VertexId(rv(buf, &mut pos)? as u32);
+            let dist = rv(buf, &mut pos)?;
+            let l = read_tree_label(buf, &mut pos)?;
+            entries.push(LabelEntry {
+                level,
+                pivot,
+                dist,
+                tree_label: TreeLabelKind::Ours(l),
+            });
+        }
+        labels.push(RoutingLabel { entries });
+    }
+    let mut pivot_info = Vec::with_capacity(n);
+    for _ in 0..n {
+        let count = rv(buf, &mut pos)? as usize;
+        if count > buf.len() {
+            return Err(PersistError::Malformed);
+        }
+        let mut pivots = Vec::with_capacity(count);
+        for _ in 0..count {
+            let p = VertexId(rv(buf, &mut pos)? as u32);
+            let d = rv(buf, &mut pos)?;
+            pivots.push((p, d));
+        }
+        pivot_info.push(pivots);
+    }
+    if pos != buf.len() {
+        return Err(PersistError::Malformed);
+    }
+    Ok(RoutingScheme {
+        k,
+        mode,
+        tables,
+        labels,
+        pivot_info,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router;
+    use crate::scheme::{build, BuildParams};
+    use graphs::generators;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn scheme(n: usize, seed: u64) -> (graphs::Graph, RoutingScheme) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = generators::erdos_renyi_connected(n, 3.0 / n as f64, 1..=9, &mut rng);
+        let built = build(&g, &BuildParams::new(2), &mut rng);
+        (g, built.scheme)
+    }
+
+    #[test]
+    fn round_trips_and_routes_identically() {
+        let (g, s) = scheme(60, 1101);
+        let bytes = encode_scheme(&s).unwrap();
+        let back = decode_scheme(&bytes).unwrap();
+        assert_eq!(back.k, s.k);
+        assert_eq!(back.mode, s.mode);
+        for v in g.vertices() {
+            assert_eq!(back.tables[v.index()].entries, s.tables[v.index()].entries);
+            assert_eq!(back.pivot_info[v.index()], s.pivot_info[v.index()]);
+        }
+        // Routing through the reloaded scheme gives identical traces.
+        for (a, b) in [(0u32, 59u32), (17, 33)] {
+            let t1 = router::route(&g, &s, VertexId(a), VertexId(b)).unwrap();
+            let t2 = router::route(&g, &back, VertexId(a), VertexId(b)).unwrap();
+            assert_eq!(t1.path, t2.path);
+            assert_eq!(t1.weight, t2.weight);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_truncation() {
+        let (_, s) = scheme(30, 1102);
+        let mut bytes = encode_scheme(&s).unwrap();
+        assert!(matches!(
+            decode_scheme(b"nope"),
+            Err(PersistError::BadHeader)
+        ));
+        bytes.truncate(bytes.len() - 3);
+        assert!(matches!(
+            decode_scheme(&bytes),
+            Err(PersistError::Malformed)
+        ));
+    }
+
+    #[test]
+    fn rejects_trailing_bytes() {
+        let (_, s) = scheme(30, 1103);
+        let mut bytes = encode_scheme(&s).unwrap();
+        bytes.push(7);
+        assert!(matches!(
+            decode_scheme(&bytes),
+            Err(PersistError::Malformed)
+        ));
+    }
+
+    #[test]
+    fn prior_mode_is_rejected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1104);
+        let g = generators::erdos_renyi_connected(40, 0.08, 1..=9, &mut rng);
+        let built = build(
+            &g,
+            &BuildParams::new(2).with_mode(crate::scheme::Mode::DistributedPrior),
+            &mut rng,
+        );
+        assert_eq!(
+            encode_scheme(&built.scheme),
+            Err(PersistError::UnsupportedMode)
+        );
+    }
+
+    #[test]
+    fn encoding_is_compact() {
+        let (_, s) = scheme(100, 1105);
+        let bytes = encode_scheme(&s).unwrap();
+        let words: usize = s
+            .tables
+            .iter()
+            .map(congest::WordSized::words)
+            .sum::<usize>()
+            + s.labels.iter().map(congest::WordSized::words).sum::<usize>();
+        assert!(
+            bytes.len() < 8 * words,
+            "varint encoding ({} bytes) should beat raw words ({} bytes)",
+            bytes.len(),
+            8 * words
+        );
+    }
+}

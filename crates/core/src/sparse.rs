@@ -1,0 +1,194 @@
+//! Sparse per-tree storage.
+//!
+//! The scheme builds one cluster tree per vertex — thousands of trees whose
+//! total membership is `Õ(n^{1+1/k})`. Dense per-tree arrays would need
+//! `Θ(n · #trees)` space in the *simulator*, so trees and their routing
+//! schemes are stored sparsely, keyed by member vertex; they convert to the
+//! dense [`RootedTree`]/[`TreeScheme`] forms one at a time when a tree is
+//! processed.
+
+use std::collections::HashMap;
+
+use graphs::{RootedTree, VertexId, Weight};
+use tree_routing::types::{TreeLabel, TreeScheme, TreeTable};
+
+/// A cluster tree of `G`: root, members, and per-member parent pointers.
+#[derive(Clone, Debug)]
+pub struct SparseTree {
+    /// The cluster center (tree root).
+    pub root: VertexId,
+    /// The hierarchy level of the root (`root ∈ A_level \ A_{level+1}`).
+    pub level: usize,
+    /// Per member: `(parent, parent edge weight, distance estimate to root)`;
+    /// the root maps to `(root, 0, 0)`.
+    pub members: HashMap<VertexId, MemberInfo>,
+}
+
+/// Per-member tree data.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemberInfo {
+    /// Tree parent (self for the root).
+    pub parent: VertexId,
+    /// Weight of the parent edge (0 for the root).
+    pub parent_weight: Weight,
+    /// The estimate `b_root(v)` the construction derived (≥ true distance).
+    pub dist: Weight,
+}
+
+impl SparseTree {
+    /// Number of members (including the root).
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the tree has no members (never true for built trees).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Whether `v` belongs to this tree.
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.members.contains_key(&v)
+    }
+
+    /// Convert to a dense [`RootedTree`] over a host universe of `host_n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a member's parent chain is inconsistent (caught by
+    /// [`RootedTree::from_parents`]'s cycle check).
+    pub fn to_rooted(&self, host_n: usize) -> RootedTree {
+        let mut parent = vec![None; host_n];
+        let mut weight = vec![0; host_n];
+        for (&v, info) in &self.members {
+            if v != self.root {
+                parent[v.index()] = Some(info.parent);
+                weight[v.index()] = info.parent_weight;
+            }
+        }
+        RootedTree::from_parents(self.root, parent, weight)
+    }
+}
+
+/// The tree-routing scheme of one cluster tree, stored sparsely.
+#[derive(Clone, Debug, Default)]
+pub struct SparseTreeScheme {
+    /// Per-member routing table.
+    pub tables: HashMap<VertexId, TreeTable>,
+    /// Per-member label.
+    pub labels: HashMap<VertexId, TreeLabel>,
+}
+
+impl SparseTreeScheme {
+    /// Extract the member entries of a dense scheme.
+    pub fn from_dense(scheme: &TreeScheme) -> Self {
+        let mut out = SparseTreeScheme::default();
+        for (i, t) in scheme.tables.iter().enumerate() {
+            if let Some(t) = t {
+                out.tables.insert(VertexId(i as u32), t.clone());
+            }
+        }
+        for (i, l) in scheme.labels.iter().enumerate() {
+            if let Some(l) = l {
+                out.labels.insert(VertexId(i as u32), l.clone());
+            }
+        }
+        out
+    }
+}
+
+/// The prior (baseline) tree scheme of one cluster tree, stored sparsely.
+#[derive(Clone, Debug, Default)]
+pub struct SparseBaselineScheme {
+    /// Per-member two-level table.
+    pub tables: HashMap<VertexId, tree_routing::baseline::BaselineTable>,
+    /// Per-member two-level label.
+    pub labels: HashMap<VertexId, tree_routing::baseline::BaselineLabel>,
+}
+
+impl SparseBaselineScheme {
+    /// Extract the member entries of a dense baseline scheme.
+    pub fn from_dense(scheme: &tree_routing::baseline::BaselineScheme) -> Self {
+        let mut out = SparseBaselineScheme::default();
+        for (i, t) in scheme.tables.iter().enumerate() {
+            if let Some(t) = t {
+                out.tables.insert(VertexId(i as u32), t.clone());
+            }
+        }
+        for (i, l) in scheme.labels.iter().enumerate() {
+            if let Some(l) = l {
+                out.labels.insert(VertexId(i as u32), l.clone());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_sparse() -> SparseTree {
+        let mut members = HashMap::new();
+        members.insert(
+            VertexId(0),
+            MemberInfo {
+                parent: VertexId(0),
+                parent_weight: 0,
+                dist: 0,
+            },
+        );
+        members.insert(
+            VertexId(2),
+            MemberInfo {
+                parent: VertexId(0),
+                parent_weight: 5,
+                dist: 5,
+            },
+        );
+        members.insert(
+            VertexId(3),
+            MemberInfo {
+                parent: VertexId(2),
+                parent_weight: 1,
+                dist: 6,
+            },
+        );
+        SparseTree {
+            root: VertexId(0),
+            level: 1,
+            members,
+        }
+    }
+
+    #[test]
+    fn to_rooted_reconstructs_structure() {
+        let st = path_sparse();
+        let t = st.to_rooted(5);
+        assert_eq!(t.root(), VertexId(0));
+        assert_eq!(t.num_vertices(), 3);
+        assert!(!t.contains(VertexId(1)));
+        assert_eq!(t.parent(VertexId(3)), Some(VertexId(2)));
+        assert_eq!(t.root_distance(VertexId(3)), Some(6));
+    }
+
+    #[test]
+    fn membership_queries() {
+        let st = path_sparse();
+        assert_eq!(st.len(), 3);
+        assert!(st.contains(VertexId(2)));
+        assert!(!st.contains(VertexId(4)));
+        assert!(!st.is_empty());
+    }
+
+    #[test]
+    fn sparse_scheme_round_trips_members() {
+        let st = path_sparse();
+        let dense_tree = st.to_rooted(5);
+        let dense = tree_routing::tz::build(&dense_tree);
+        let sparse = SparseTreeScheme::from_dense(&dense);
+        assert_eq!(sparse.tables.len(), 3);
+        assert_eq!(sparse.labels.len(), 3);
+        assert_eq!(sparse.tables.get(&VertexId(0)), dense.table(VertexId(0)));
+    }
+}

@@ -1,0 +1,168 @@
+//! Structural graph properties: connectivity, hop diameter `D`, and
+//! shortest-path diameter `S`.
+//!
+//! The paper's round bounds are stated in terms of `n` and the *hop diameter*
+//! `D` (diameter of the unweighted skeleton), with prior work often depending
+//! on the larger *shortest-path diameter* `S` (maximum number of hops on a
+//! weighted shortest path). `D ≤ S ≤ n` always holds.
+
+use crate::graph::{Graph, VertexId, INFINITY};
+use crate::shortest_paths::{bfs_hops, dijkstra_with_parents};
+
+/// Whether the graph is connected (true for the empty graph).
+pub fn is_connected(g: &Graph) -> bool {
+    let n = g.num_vertices();
+    if n == 0 {
+        return true;
+    }
+    bfs_hops(g, VertexId(0)).iter().all(|&h| h != INFINITY)
+}
+
+/// The hop diameter `D`: the diameter of the graph viewed as unweighted.
+/// `None` if the graph is disconnected or empty.
+///
+/// Runs a BFS from every vertex (O(nm)); fine at experiment scale.
+pub fn hop_diameter(g: &Graph) -> Option<usize> {
+    if g.num_vertices() == 0 {
+        return None;
+    }
+    let mut best = 0;
+    for v in g.vertices() {
+        let hops = bfs_hops(g, v);
+        let ecc = *hops.iter().max().expect("non-empty");
+        if ecc == INFINITY {
+            return None;
+        }
+        best = best.max(ecc as usize);
+    }
+    Some(best)
+}
+
+/// The shortest-path diameter `S`: the maximum, over all pairs, of the hop
+/// length of the shortest weighted path Dijkstra finds between them.
+/// `None` if disconnected or empty.
+///
+/// Note: when shortest paths are not unique this measures one particular
+/// shortest-path tree per source, which is the operationally relevant
+/// quantity for Bellman–Ford-style explorations.
+pub fn shortest_path_diameter(g: &Graph) -> Option<usize> {
+    if g.num_vertices() == 0 {
+        return None;
+    }
+    let n = g.num_vertices();
+    let mut best = 0usize;
+    for s in g.vertices() {
+        let (dist, parent) = dijkstra_with_parents(g, s);
+        if dist.iter().any(|&d| d == INFINITY) {
+            return None;
+        }
+        // Hop depth of each vertex in the SPT of s.
+        let mut depth = vec![usize::MAX; n];
+        depth[s.index()] = 0;
+        // Parents point toward the source; resolve depths memoized.
+        for v in g.vertices() {
+            let mut chain = Vec::new();
+            let mut cur = v;
+            while depth[cur.index()] == usize::MAX {
+                chain.push(cur);
+                cur = parent[cur.index()].expect("connected");
+            }
+            let mut d = depth[cur.index()];
+            for &x in chain.iter().rev() {
+                d += 1;
+                depth[x.index()] = d;
+            }
+            best = best.max(depth[v.index()]);
+        }
+    }
+    Some(best)
+}
+
+/// Degree statistics `(min, max, mean)` of a non-empty graph.
+pub fn degree_stats(g: &Graph) -> Option<(usize, usize, f64)> {
+    if g.num_vertices() == 0 {
+        return None;
+    }
+    let degs: Vec<usize> = g.vertices().map(|v| g.degree(v)).collect();
+    let min = *degs.iter().min().expect("non-empty");
+    let max = *degs.iter().max().expect("non-empty");
+    let mean = degs.iter().sum::<usize>() as f64 / degs.len() as f64;
+    Some((min, max, mean))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::graph::GraphBuilder;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn empty_graph_is_connected_without_diameter() {
+        let g = GraphBuilder::new(0).build();
+        assert!(is_connected(&g));
+        assert_eq!(hop_diameter(&g), None);
+        assert_eq!(shortest_path_diameter(&g), None);
+        assert_eq!(degree_stats(&g), None);
+    }
+
+    #[test]
+    fn singleton_has_zero_diameter() {
+        let g = GraphBuilder::new(1).build();
+        assert!(is_connected(&g));
+        assert_eq!(hop_diameter(&g), Some(0));
+        assert_eq!(shortest_path_diameter(&g), Some(0));
+    }
+
+    #[test]
+    fn disconnected_graph_detected() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(VertexId(0), VertexId(1), 1);
+        b.add_edge(VertexId(2), VertexId(3), 1);
+        let g = b.build();
+        assert!(!is_connected(&g));
+        assert_eq!(hop_diameter(&g), None);
+        assert_eq!(shortest_path_diameter(&g), None);
+    }
+
+    #[test]
+    fn path_diameters() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let g = generators::path(7, 1..=1, &mut rng);
+        assert_eq!(hop_diameter(&g), Some(6));
+        assert_eq!(shortest_path_diameter(&g), Some(6));
+    }
+
+    #[test]
+    fn d_le_s_le_n_on_random_graphs() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        for _ in 0..3 {
+            let g = generators::erdos_renyi_connected(40, 0.1, 1..=50, &mut rng);
+            let d = hop_diameter(&g).unwrap();
+            let s = shortest_path_diameter(&g).unwrap();
+            assert!(d <= s);
+            assert!(s <= g.num_vertices());
+        }
+    }
+
+    #[test]
+    fn unweighted_d_equals_s() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let g = generators::erdos_renyi_connected(30, 0.15, 1..=1, &mut rng);
+        assert_eq!(
+            hop_diameter(&g).unwrap(),
+            shortest_path_diameter(&g).unwrap()
+        );
+    }
+
+    #[test]
+    fn degree_stats_on_star() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let g = generators::star(5, 1..=1, &mut rng);
+        let (min, max, mean) = degree_stats(&g).unwrap();
+        assert_eq!(min, 1);
+        assert_eq!(max, 4);
+        assert!((mean - 8.0 / 5.0).abs() < 1e-9);
+    }
+}

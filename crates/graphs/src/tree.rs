@@ -1,0 +1,445 @@
+//! Rooted trees: the object the Section-3 tree-routing scheme operates on.
+//!
+//! A [`RootedTree`] lives *inside* a host network `G`: its vertex set is a
+//! subset of `V(G)` and its edges are edges of `G`. The tree-routing problem
+//! (paper §3) is: given `G` with hop-diameter `D` and a spanning (or partial)
+//! tree `T`, compute exact routing tables for `T` fast in `G` — exploiting
+//! that `D` is typically much smaller than the depth of `T`.
+
+use crate::graph::{Graph, VertexId, Weight};
+use crate::shortest_paths::dijkstra_with_parents;
+use rand::Rng;
+
+/// A rooted tree on a subset of a host graph's vertices.
+///
+/// Stored as a parent map over the host graph's vertex ids; vertices not in
+/// the tree have no parent and are reported absent by [`RootedTree::contains`].
+///
+/// # Examples
+///
+/// ```
+/// use graphs::{RootedTree, VertexId};
+/// // A path 0 - 1 - 2 rooted at 0.
+/// let t = RootedTree::from_parents(
+///     VertexId(0),
+///     vec![None, Some(VertexId(0)), Some(VertexId(1))],
+///     vec![0, 1, 1],
+/// );
+/// assert_eq!(t.root(), VertexId(0));
+/// assert_eq!(t.depth_of(VertexId(2)), Some(2));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RootedTree {
+    root: VertexId,
+    /// `parent[v]` is the tree parent of host vertex `v`; `None` for the root
+    /// and for vertices outside the tree.
+    parent: Vec<Option<VertexId>>,
+    /// Weight of the edge to the parent (0 where parent is `None`).
+    parent_weight: Vec<Weight>,
+    /// Membership flags (the root is always a member).
+    member: Vec<bool>,
+    /// Children adjacency, derived from `parent`.
+    children: Vec<Vec<VertexId>>,
+}
+
+impl RootedTree {
+    /// Build a tree from a parent array over host-vertex ids.
+    ///
+    /// `parent_weight[v]` is the weight of `v`'s parent edge (ignored when
+    /// `parent[v]` is `None`). A vertex is a member iff it is the root or has
+    /// a parent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arrays disagree in length, if the root has a parent, or
+    /// if the parent pointers contain a cycle.
+    pub fn from_parents(
+        root: VertexId,
+        parent: Vec<Option<VertexId>>,
+        parent_weight: Vec<Weight>,
+    ) -> Self {
+        let n = parent.len();
+        assert_eq!(n, parent_weight.len(), "parent/weight length mismatch");
+        assert!(root.index() < n, "root out of range");
+        assert!(parent[root.index()].is_none(), "root must have no parent");
+        let mut member = vec![false; n];
+        member[root.index()] = true;
+        let mut children: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+        for v in 0..n {
+            if let Some(p) = parent[v] {
+                member[v] = true;
+                children[p.index()].push(VertexId(v as u32));
+            }
+        }
+        let tree = RootedTree {
+            root,
+            parent,
+            parent_weight,
+            member,
+            children,
+        };
+        // Cycle check: walking up from any member must terminate at the root.
+        for v in 0..n {
+            if tree.member[v] {
+                let mut cur = VertexId(v as u32);
+                let mut steps = 0usize;
+                while let Some(p) = tree.parent[cur.index()] {
+                    cur = p;
+                    steps += 1;
+                    assert!(steps <= n, "cycle in parent pointers at {cur}");
+                }
+                assert_eq!(cur, root, "member {} does not reach the root", v);
+            }
+        }
+        tree
+    }
+
+    /// The root vertex.
+    #[inline]
+    pub fn root(&self) -> VertexId {
+        self.root
+    }
+
+    /// Size of the host vertex universe (not the tree).
+    #[inline]
+    pub fn host_len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether host vertex `v` belongs to the tree.
+    #[inline]
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.member[v.index()]
+    }
+
+    /// Number of tree vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.member.iter().filter(|&&m| m).count()
+    }
+
+    /// The tree parent of `v` (`None` for the root or non-members).
+    #[inline]
+    pub fn parent(&self, v: VertexId) -> Option<VertexId> {
+        self.parent[v.index()]
+    }
+
+    /// Weight of `v`'s parent edge (0 for the root / non-members).
+    #[inline]
+    pub fn parent_weight(&self, v: VertexId) -> Weight {
+        self.parent_weight[v.index()]
+    }
+
+    /// Children of `v` in the tree.
+    #[inline]
+    pub fn children(&self, v: VertexId) -> &[VertexId] {
+        &self.children[v.index()]
+    }
+
+    /// Iterator over the tree's member vertices.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.member
+            .iter()
+            .enumerate()
+            .filter(|(_, &m)| m)
+            .map(|(i, _)| VertexId(i as u32))
+    }
+
+    /// Hop depth of `v` below the root, `None` for non-members.
+    pub fn depth_of(&self, v: VertexId) -> Option<usize> {
+        if !self.contains(v) {
+            return None;
+        }
+        let mut d = 0;
+        let mut cur = v;
+        while let Some(p) = self.parent[cur.index()] {
+            cur = p;
+            d += 1;
+        }
+        Some(d)
+    }
+
+    /// Maximum hop depth over all members.
+    pub fn height(&self) -> usize {
+        self.vertices()
+            .map(|v| self.depth_of(v).expect("member"))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Weighted distance from `v` up to the root along tree edges.
+    pub fn root_distance(&self, v: VertexId) -> Option<Weight> {
+        if !self.contains(v) {
+            return None;
+        }
+        let mut d = 0;
+        let mut cur = v;
+        while let Some(p) = self.parent[cur.index()] {
+            d += self.parent_weight[cur.index()];
+            cur = p;
+        }
+        Some(d)
+    }
+
+    /// Weighted distance between two members *along tree edges* (via their LCA).
+    pub fn tree_distance(&self, u: VertexId, v: VertexId) -> Option<Weight> {
+        if !self.contains(u) || !self.contains(v) {
+            return None;
+        }
+        // Walk both up to the root recording prefix distances, then match.
+        let path = |mut x: VertexId| {
+            let mut anc = vec![(x, 0u64)];
+            let mut d = 0u64;
+            while let Some(p) = self.parent[x.index()] {
+                d += self.parent_weight[x.index()];
+                x = p;
+                anc.push((x, d));
+            }
+            anc
+        };
+        let pu = path(u);
+        let pv = path(v);
+        let mut best = None;
+        for &(a, da) in &pu {
+            if let Some(&(_, db)) = pv.iter().find(|&&(b, _)| b == a) {
+                best = Some(da + db);
+                break;
+            }
+        }
+        best
+    }
+
+    /// Subtree sizes computed by direct recursion — the centralized reference
+    /// against which the distributed pointer-jumping Stage 1 is tested.
+    pub fn subtree_sizes(&self) -> Vec<usize> {
+        let n = self.host_len();
+        let mut size = vec![0usize; n];
+        // Post-order via explicit stack.
+        let mut stack = vec![(self.root, false)];
+        while let Some((v, expanded)) = stack.pop() {
+            if expanded {
+                size[v.index()] = 1 + self
+                    .children(v)
+                    .iter()
+                    .map(|c| size[c.index()])
+                    .sum::<usize>();
+            } else {
+                stack.push((v, true));
+                for &c in self.children(v) {
+                    stack.push((c, false));
+                }
+            }
+        }
+        size
+    }
+
+    /// Members in preorder (root first, children in stored order).
+    pub fn preorder(&self) -> Vec<VertexId> {
+        let mut out = Vec::with_capacity(self.num_vertices());
+        let mut stack = vec![self.root];
+        while let Some(v) = stack.pop() {
+            out.push(v);
+            for &c in self.children(v).iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+}
+
+/// The shortest-path tree of `G` rooted at `root` (a spanning tree of the
+/// component of `root`). This is the canonical "tree inside a network" used
+/// by Table-2 experiments.
+pub fn shortest_path_tree(g: &Graph, root: VertexId) -> RootedTree {
+    let (_, parent) = dijkstra_with_parents(g, root);
+    let weights = parent
+        .iter()
+        .enumerate()
+        .map(|(v, p)| match p {
+            Some(p) => g
+                .edge_weight(*p, VertexId(v as u32))
+                .expect("SPT parent edge exists"),
+            None => 0,
+        })
+        .collect();
+    RootedTree::from_parents(root, parent, weights)
+}
+
+/// A uniformly random recursive tree on the member set `verts` (the first
+/// element becomes the root): each subsequent vertex attaches to a uniformly
+/// random earlier vertex. Edge weights are drawn from `1..=max_w`.
+///
+/// The returned tree's parent edges are *virtual* (not edges of any host
+/// graph); it exercises tree-only code paths and property tests.
+///
+/// # Panics
+///
+/// Panics if `verts` is empty or `max_w == 0`.
+pub fn random_recursive_tree<R: Rng>(
+    host_len: usize,
+    verts: &[VertexId],
+    max_w: Weight,
+    rng: &mut R,
+) -> RootedTree {
+    assert!(!verts.is_empty(), "need at least a root");
+    assert!(max_w > 0, "max weight must be positive");
+    let mut parent = vec![None; host_len];
+    let mut weight = vec![0; host_len];
+    for i in 1..verts.len() {
+        let p = verts[rng.gen_range(0..i)];
+        parent[verts[i].index()] = Some(p);
+        weight[verts[i].index()] = rng.gen_range(1..=max_w);
+    }
+    RootedTree::from_parents(verts[0], parent, weight)
+}
+
+/// A path tree `v0 -> v1 -> ... -> v_{n-1}` (worst case for naive tree
+/// algorithms: depth n−1).
+pub fn path_tree(host_len: usize, verts: &[VertexId], w: Weight) -> RootedTree {
+    assert!(!verts.is_empty());
+    let mut parent = vec![None; host_len];
+    let mut weight = vec![0; host_len];
+    for i in 1..verts.len() {
+        parent[verts[i].index()] = Some(verts[i - 1]);
+        weight[verts[i].index()] = w;
+    }
+    RootedTree::from_parents(verts[0], parent, weight)
+}
+
+/// A star rooted at `verts[0]` with all other members as leaves.
+pub fn star_tree(host_len: usize, verts: &[VertexId], w: Weight) -> RootedTree {
+    assert!(!verts.is_empty());
+    let mut parent = vec![None; host_len];
+    let mut weight = vec![0; host_len];
+    for &v in &verts[1..] {
+        parent[v.index()] = Some(verts[0]);
+        weight[v.index()] = w;
+    }
+    RootedTree::from_parents(verts[0], parent, weight)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn ids(n: u32) -> Vec<VertexId> {
+        (0..n).map(VertexId).collect()
+    }
+
+    #[test]
+    fn path_tree_depth_and_distance() {
+        let t = path_tree(5, &ids(5), 2);
+        assert_eq!(t.height(), 4);
+        assert_eq!(t.root_distance(VertexId(4)), Some(8));
+        assert_eq!(t.tree_distance(VertexId(1), VertexId(4)), Some(6));
+        assert_eq!(t.depth_of(VertexId(3)), Some(3));
+    }
+
+    #[test]
+    fn star_tree_children() {
+        let t = star_tree(4, &ids(4), 1);
+        assert_eq!(t.children(VertexId(0)).len(), 3);
+        assert_eq!(t.height(), 1);
+        assert_eq!(t.tree_distance(VertexId(1), VertexId(2)), Some(2));
+    }
+
+    #[test]
+    fn subtree_sizes_on_path() {
+        let t = path_tree(4, &ids(4), 1);
+        let s = t.subtree_sizes();
+        assert_eq!(s, vec![4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn partial_membership() {
+        // Tree on {0, 2} inside a host of 4 vertices.
+        let t = RootedTree::from_parents(
+            VertexId(0),
+            vec![None, None, Some(VertexId(0)), None],
+            vec![0, 0, 5, 0],
+        );
+        assert!(t.contains(VertexId(0)));
+        assert!(t.contains(VertexId(2)));
+        assert!(!t.contains(VertexId(1)));
+        assert_eq!(t.num_vertices(), 2);
+        assert_eq!(t.tree_distance(VertexId(0), VertexId(1)), None);
+    }
+
+    #[test]
+    fn random_recursive_tree_spans_members() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let t = random_recursive_tree(20, &ids(20), 10, &mut rng);
+        assert_eq!(t.num_vertices(), 20);
+        for v in t.vertices() {
+            assert!(t.depth_of(v).is_some());
+        }
+        let sizes = t.subtree_sizes();
+        assert_eq!(sizes[0], 20);
+    }
+
+    #[test]
+    fn spt_distances_match_dijkstra() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let g = generators::erdos_renyi_connected(40, 0.15, 1..=9, &mut rng);
+        let t = shortest_path_tree(&g, VertexId(0));
+        let d = crate::shortest_paths::dijkstra(&g, VertexId(0));
+        for v in g.vertices() {
+            assert_eq!(t.root_distance(v), Some(d[v.index()]));
+        }
+    }
+
+    #[test]
+    fn preorder_starts_at_root_and_respects_parents() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let t = random_recursive_tree(15, &ids(15), 3, &mut rng);
+        let order = t.preorder();
+        assert_eq!(order[0], t.root());
+        assert_eq!(order.len(), 15);
+        let pos: std::collections::HashMap<_, _> =
+            order.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        for v in t.vertices() {
+            if let Some(p) = t.parent(v) {
+                assert!(pos[&p] < pos[&v], "parent must precede child in preorder");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "root must have no parent")]
+    fn rejects_rooted_cycle() {
+        RootedTree::from_parents(
+            VertexId(0),
+            vec![Some(VertexId(1)), Some(VertexId(0))],
+            vec![1, 1],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle in parent pointers")]
+    fn rejects_detached_cycle() {
+        // 0 is the root; 1 and 2 form a 2-cycle not attached to the root.
+        RootedTree::from_parents(
+            VertexId(0),
+            vec![None, Some(VertexId(2)), Some(VertexId(1))],
+            vec![0, 1, 1],
+        );
+    }
+
+    #[test]
+    fn tree_distance_is_symmetric_and_triangleish() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let t = random_recursive_tree(25, &ids(25), 7, &mut rng);
+        for u in 0..25u32 {
+            for v in 0..25u32 {
+                let duv = t.tree_distance(VertexId(u), VertexId(v)).unwrap();
+                let dvu = t.tree_distance(VertexId(v), VertexId(u)).unwrap();
+                assert_eq!(duv, dvu);
+                if u == v {
+                    assert_eq!(duv, 0);
+                }
+            }
+        }
+    }
+}

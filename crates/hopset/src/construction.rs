@@ -1,0 +1,358 @@
+//! Hopset construction: the Thorup–Zwick-bunch scheme of \[EN17b\] on the
+//! virtual vertex set.
+//!
+//! A sampled hierarchy `A_0 ⊇ A_1 ⊇ … ⊇ A_ℓ` over `V'` (uniform demotion
+//! probability `|V'|^{-1/(ℓ+1)}`) yields, for every `u ∈ A_i \ A_{i+1}`:
+//!
+//! * **bunch edges** `u → v` for all `v ∈ A_i` with `d(u, v) < d(u, A_{i+1})`
+//!   — whp `Õ(|V'|^{1/(ℓ+1)})` of them, which is what bounds the out-degree
+//!   and hence the arboricity;
+//! * a **pivot edge** `u → p_{i+1}(u)` to the nearest vertex of `A_{i+1}`;
+//! * the top level `A_ℓ` is intraconnected (a clique on whp few vertices).
+//!
+//! Edge weights are exact `G`-distances between virtual vertices; by the
+//! paper's Claim 7 these equal the virtual-graph distances whp (a vertex of
+//! `V'` appears on every `B` consecutive shortest-path vertices), and the
+//! realizing `G`-paths are retained for the path-recovery mechanism.
+//!
+//! Rounds are charged per the distributed schedule: each level costs one
+//! `B`-bounded exploration plus a Lemma-1 broadcast of the level's sets and
+//! new edges (see `DESIGN.md` on accounting).
+
+use congest::{CostLedger, MemoryMeter};
+use graphs::{shortest_paths, Graph, VertexId, INFINITY};
+use rand::Rng;
+
+use crate::hopset::Hopset;
+use crate::virtual_graph::VirtualGraph;
+
+/// Construction parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HopsetParams {
+    /// Number of hierarchy levels `ℓ` (the hierarchy has `ℓ + 1` sets).
+    /// Larger `ℓ` → sparser hopset and smaller arboricity, larger hop bound.
+    pub levels: usize,
+}
+
+impl Default for HopsetParams {
+    fn default() -> Self {
+        HopsetParams { levels: 2 }
+    }
+}
+
+impl HopsetParams {
+    /// Derive levels from the paper's knobs: size exponent `κ` and memory
+    /// exponent `ρ` (arboricity `Õ(m^ρ)` wants `ℓ + 1 ≈ 1/ρ`; size
+    /// `O(m^{1+1/κ})` wants `ℓ + 1 ≈ κ`). Takes the stricter (larger).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kappa < 2` or `rho` is not in `(0, 1]`.
+    pub fn for_kappa_rho(kappa: usize, rho: f64) -> Self {
+        assert!(kappa >= 2, "kappa must be at least 2");
+        assert!(rho > 0.0 && rho <= 1.0, "rho must be in (0, 1]");
+        let by_rho = (1.0 / rho).ceil() as usize;
+        HopsetParams {
+            levels: kappa.max(by_rho).saturating_sub(1).max(1),
+        }
+    }
+}
+
+/// Everything the construction measured about itself.
+#[derive(Clone, Debug)]
+pub struct BuildStats {
+    /// Sizes of the hierarchy sets `|A_0|, …, |A_ℓ|`.
+    pub level_sizes: Vec<usize>,
+    /// Directed hopset records created.
+    pub edges: usize,
+    /// Max out-degree = the arboricity bound `α`.
+    pub arboricity: usize,
+}
+
+/// Output of [`build`].
+#[derive(Clone, Debug)]
+pub struct HopsetOutput {
+    /// The hopset (out-edge oriented, with realizing paths).
+    pub hopset: Hopset,
+    /// Self-measurements.
+    pub stats: BuildStats,
+}
+
+/// Build a hopset for the virtual graph `virt` over host graph `g`.
+///
+/// `d` is the broadcast-tree depth used to price Lemma-1 phases. Rounds go to
+/// `ledger`, per-vertex memory to `memory`.
+///
+/// # Panics
+///
+/// Panics if `virt` has no virtual vertices.
+pub fn build<R: Rng>(
+    g: &Graph,
+    virt: &VirtualGraph,
+    params: HopsetParams,
+    d: u64,
+    ledger: &mut CostLedger,
+    memory: &mut MemoryMeter,
+    rng: &mut R,
+) -> HopsetOutput {
+    let verts = virt.virtual_vertices();
+    assert!(!verts.is_empty(), "virtual graph has no vertices");
+    let m = verts.len();
+    let levels = params.levels.max(1);
+    let p = (m as f64).powf(-1.0 / (levels as f64 + 1.0));
+
+    // Hierarchy: A_0 = V'; demote with probability p at each step.
+    let mut hierarchy: Vec<Vec<VertexId>> = vec![verts.to_vec()];
+    for _ in 0..levels {
+        let prev = hierarchy.last().expect("non-empty");
+        let next: Vec<VertexId> = prev
+            .iter()
+            .copied()
+            .filter(|_| rng.gen_bool(p.clamp(0.0, 1.0)))
+            .collect();
+        hierarchy.push(next);
+    }
+    // The top level anchors everything; if sampling emptied it, promote the
+    // last non-empty set (keeps the construction total on small inputs).
+    if hierarchy.last().expect("non-empty").is_empty() {
+        let last_nonempty = hierarchy
+            .iter()
+            .rposition(|a| !a.is_empty())
+            .expect("A_0 is non-empty");
+        hierarchy.truncate(last_nonempty + 1);
+    }
+    let levels = hierarchy.len() - 1;
+
+    let mut hopset = Hopset::new(g.num_vertices());
+
+    // Per-level membership flags for bunch tests.
+    let mut member: Vec<Vec<bool>> = Vec::with_capacity(levels + 1);
+    for a in &hierarchy {
+        let mut f = vec![false; g.num_vertices()];
+        for &v in a {
+            f[v.index()] = true;
+        }
+        member.push(f);
+    }
+
+    let path_from = |parents: &[Option<VertexId>], src: VertexId, dst: VertexId| {
+        let mut path = vec![dst];
+        let mut cur = dst;
+        while cur != src {
+            cur = parents[cur.index()].expect("reachable");
+            path.push(cur);
+        }
+        path.reverse();
+        path
+    };
+
+    for i in 0..levels {
+        // Pivot distances d(·, A_{i+1}) via a multi-source exploration.
+        let (piv_dist, piv_owner) = shortest_paths::multi_source_dijkstra(g, &hierarchy[i + 1]);
+        ledger.charge_rounds(virt.b_hops() as u64);
+        ledger.charge_broadcast(hierarchy[i].len() as u64, d);
+
+        let mut level_edges = 0u64;
+        for &u in &hierarchy[i] {
+            if member[i + 1][u.index()] {
+                continue; // u survives to the next level
+            }
+            let (dist_u, parents_u) = shortest_paths::dijkstra_with_parents(g, u);
+            let du_next = piv_dist[u.index()];
+            // Bunch edges: strictly closer members of A_i than A_{i+1}.
+            for &v in &hierarchy[i] {
+                if v != u && dist_u[v.index()] < du_next {
+                    let path = path_from(&parents_u, u, v);
+                    hopset.add_edge(u, v, dist_u[v.index()], path);
+                    level_edges += 1;
+                }
+            }
+            // Pivot edge.
+            if du_next != INFINITY {
+                let pivot = piv_owner[u.index()].expect("finite pivot distance");
+                debug_assert_eq!(dist_u[pivot.index()], du_next);
+                let path = path_from(&parents_u, u, pivot);
+                hopset.add_edge(u, pivot, du_next, path);
+                level_edges += 1;
+            }
+            memory.set(u, hopset.memory_words(u) + 2 * (levels + 1));
+        }
+        ledger.charge_broadcast(level_edges, d);
+    }
+
+    // Top level: intraconnect (oriented small-id → large-id).
+    let top = &hierarchy[levels];
+    let mut top_edges = 0u64;
+    for (j, &u) in top.iter().enumerate() {
+        if top.len() > 1 {
+            let (dist_u, parents_u) = shortest_paths::dijkstra_with_parents(g, u);
+            for &v in &top[j + 1..] {
+                if dist_u[v.index()] != INFINITY {
+                    let path = path_from(&parents_u, u, v);
+                    hopset.add_edge(u, v, dist_u[v.index()], path);
+                    top_edges += 1;
+                }
+            }
+        }
+        memory.set(u, hopset.memory_words(u) + 2 * (levels + 1));
+    }
+    ledger.charge_rounds(virt.b_hops() as u64);
+    ledger.charge_broadcast(top_edges, d);
+
+    let stats = BuildStats {
+        level_sizes: hierarchy.iter().map(Vec::len).collect(),
+        edges: hopset.num_edges(),
+        arboricity: hopset.max_out_degree(),
+    };
+    HopsetOutput { hopset, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphs::generators;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn setup(n: usize, p_virt: f64, seed: u64) -> (Graph, VirtualGraph, ChaCha8Rng) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = generators::erdos_renyi_connected(n, 3.0 / n as f64, 1..=20, &mut rng);
+        let virt = VirtualGraph::sample(&g, p_virt, &mut rng);
+        (g, virt, rng)
+    }
+
+    fn build_default(
+        g: &Graph,
+        virt: &VirtualGraph,
+        rng: &mut ChaCha8Rng,
+    ) -> (HopsetOutput, CostLedger, MemoryMeter) {
+        let mut led = CostLedger::new();
+        let mut mem = MemoryMeter::new(g.num_vertices());
+        let out = build(
+            g,
+            virt,
+            HopsetParams::default(),
+            8,
+            &mut led,
+            &mut mem,
+            rng,
+        );
+        (out, led, mem)
+    }
+
+    #[test]
+    fn params_from_kappa_rho() {
+        assert_eq!(HopsetParams::for_kappa_rho(4, 0.5).levels, 3);
+        assert_eq!(HopsetParams::for_kappa_rho(2, 0.25).levels, 3);
+        assert_eq!(HopsetParams::for_kappa_rho(2, 1.0).levels, 1);
+    }
+
+    #[test]
+    fn hierarchy_is_nested_and_shrinking() {
+        let (g, virt, mut rng) = setup(300, 0.3, 61);
+        let (out, _, _) = build_default(&g, &virt, &mut rng);
+        let sizes = &out.stats.level_sizes;
+        assert_eq!(sizes[0], virt.virtual_vertices().len());
+        for w in sizes.windows(2) {
+            assert!(w[1] <= w[0], "levels must shrink: {sizes:?}");
+        }
+        assert!(*sizes.last().unwrap() >= 1);
+    }
+
+    #[test]
+    fn edges_start_and_end_at_virtual_vertices() {
+        let (g, virt, mut rng) = setup(200, 0.25, 62);
+        let (out, _, _) = build_default(&g, &virt, &mut rng);
+        for (u, v, w) in out.hopset.edges() {
+            assert!(virt.is_virtual(u), "{u} not virtual");
+            assert!(virt.is_virtual(v), "{v} not virtual");
+            assert!(w > 0 || u == v);
+        }
+    }
+
+    #[test]
+    fn edge_weights_are_exact_distances_with_valid_paths() {
+        let (g, virt, mut rng) = setup(120, 0.3, 63);
+        let (out, _, _) = build_default(&g, &virt, &mut rng);
+        for u in g.vertices() {
+            let dist_u = if out.hopset.out_edges(u).is_empty() {
+                continue;
+            } else {
+                shortest_paths::dijkstra(&g, u)
+            };
+            for (j, e) in out.hopset.out_edges(u).iter().enumerate() {
+                assert_eq!(e.weight, dist_u[e.to.index()], "weight is d_G");
+                // The stored path realizes the weight edge by edge.
+                let path = out.hopset.path(u, j);
+                let mut total = 0;
+                for pair in path.windows(2) {
+                    total += g.edge_weight(pair[0], pair[1]).expect("path edge in G");
+                }
+                assert_eq!(total, e.weight);
+            }
+        }
+    }
+
+    #[test]
+    fn arboricity_is_far_below_virtual_count() {
+        let (g, virt, mut rng) = setup(600, 0.4, 64);
+        let (out, _, _) = build_default(&g, &virt, &mut rng);
+        let m = virt.virtual_vertices().len();
+        assert!(
+            out.stats.arboricity < m / 2,
+            "arboricity {} should be far below |V'| = {m}",
+            out.stats.arboricity
+        );
+    }
+
+    #[test]
+    fn more_levels_means_sparser() {
+        let (g, virt, mut rng) = setup(500, 0.4, 65);
+        let mut led = CostLedger::new();
+        let mut mem = MemoryMeter::new(g.num_vertices());
+        let dense = build(&g, &virt, HopsetParams { levels: 1 }, 8, &mut led, &mut mem, &mut rng);
+        let sparse = build(&g, &virt, HopsetParams { levels: 4 }, 8, &mut led, &mut mem, &mut rng);
+        assert!(
+            sparse.hopset.num_edges() < dense.hopset.num_edges(),
+            "levels=4 ({}) should be sparser than levels=1 ({})",
+            sparse.hopset.num_edges(),
+            dense.hopset.num_edges()
+        );
+    }
+
+    #[test]
+    fn memory_metered_matches_out_edges() {
+        let (g, virt, mut rng) = setup(150, 0.3, 66);
+        let (out, _, mem) = build_default(&g, &virt, &mut rng);
+        for &u in virt.virtual_vertices() {
+            assert!(mem.peak(u) >= out.hopset.memory_words(u));
+        }
+    }
+
+    #[test]
+    fn ledger_accounts_rounds_and_broadcasts() {
+        let (g, virt, mut rng) = setup(150, 0.3, 67);
+        let (_, led, _) = build_default(&g, &virt, &mut rng);
+        assert!(led.rounds() > 0);
+        assert!(led.broadcasts() > 0);
+    }
+
+    #[test]
+    fn single_virtual_vertex_yields_empty_hopset() {
+        let mut rng = ChaCha8Rng::seed_from_u64(68);
+        let g = generators::path(10, 1..=1, &mut rng);
+        let virt = VirtualGraph::from_set(&g, vec![VertexId(3)], 10);
+        let mut led = CostLedger::new();
+        let mut mem = MemoryMeter::new(10);
+        let out = build(
+            &g,
+            &virt,
+            HopsetParams::default(),
+            3,
+            &mut led,
+            &mut mem,
+            &mut rng,
+        );
+        assert_eq!(out.hopset.num_edges(), 0);
+    }
+}

@@ -1,0 +1,580 @@
+//! The prior distributed tree-routing approach (\[LP15\]/\[EN16b\]-style) — the
+//! baseline row of the paper's Table 2.
+//!
+//! Like the paper's scheme, it cuts `T` into local trees at sampled vertices.
+//! Unlike it, the *virtual tree* `T'` is **materialized**: every virtual
+//! vertex receives a full copy of `T'` (Ω̃(√n) words of memory — the blowup
+//! the paper eliminates) and a separate Thorup–Zwick scheme is built for `T'`
+//! on top of per-local-tree schemes. Stitching the two levels inflates the
+//! output sizes: tables carry the local gate toward the virtual heavy child
+//! (`O(log n)` words) and labels carry a local gate label per virtual light
+//! edge (`O(log² n)` words).
+//!
+//! Routing is memoryless two-level forwarding (exact, zero stretch): at each
+//! hop the carrier compares local roots; same tree → local TZ rule; different
+//! tree → a TZ step on the virtual tree decides ascend (go to parent) or
+//! descend (locally route to the *gate* `p(c)` of the chosen virtual child
+//! `c`, then cross).
+
+use congest::{bfs, CostLedger, MemoryMeter, Network, WordSized};
+use graphs::{RootedTree, VertexId, Weight};
+use rand::Rng;
+
+use crate::distributed::log2_ceil;
+use crate::router::RouteError;
+use crate::types::{route_step, RouteAction, TreeLabel, TreeTable};
+use crate::tz;
+
+/// Virtual-level information replicated to every vertex of a local tree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VirtualEntry {
+    /// DFS interval of the local root `w` in the virtual tree `T'`.
+    pub enter: u64,
+    /// End of `w`'s interval in `T'`.
+    pub exit: u64,
+    /// `w`'s parent in `T'`.
+    pub parent: Option<VertexId>,
+    /// `w`'s heavy child in `T'`.
+    pub heavy: Option<VertexId>,
+    /// Local label (within `T_w`) of the gate `p(heavy)` — the vertex whose
+    /// tree child is the virtual heavy child.
+    pub heavy_gate: Option<TreeLabel>,
+}
+
+impl WordSized for VirtualEntry {
+    fn words(&self) -> usize {
+        4 + self.heavy_gate.as_ref().map_or(1, WordSized::words)
+    }
+}
+
+/// The baseline routing table: `O(log n)` words.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BaselineTable {
+    /// Table within the local tree; `parent` is the *global* tree parent, so
+    /// ascending works across local-tree boundaries.
+    pub local: TreeTable,
+    /// Root of this vertex's local tree.
+    pub local_root: VertexId,
+    /// Virtual-level entry (replicated from the local root).
+    pub virt: VirtualEntry,
+}
+
+impl WordSized for BaselineTable {
+    fn words(&self) -> usize {
+        self.local.words() + 1 + self.virt.words()
+    }
+}
+
+/// One light virtual edge in a baseline label, with its local gate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VirtualLightEdge {
+    /// The virtual parent `x`.
+    pub parent: VertexId,
+    /// The virtual child `y`.
+    pub child: VertexId,
+    /// Local label of `p(y)` within `T_x` — `O(log n)` words.
+    pub gate: TreeLabel,
+}
+
+impl WordSized for VirtualLightEdge {
+    fn words(&self) -> usize {
+        2 + self.gate.words()
+    }
+}
+
+/// The baseline label: `O(log² n)` words.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BaselineLabel {
+    /// Label within the target's local tree.
+    pub local: TreeLabel,
+    /// The target's local root `w*`.
+    pub local_root: VertexId,
+    /// `enter` time of `w*` in the virtual tree.
+    pub virt_enter: u64,
+    /// Light virtual edges on the `z' → w*` path, each with its local gate.
+    pub virt_light: Vec<VirtualLightEdge>,
+}
+
+impl WordSized for BaselineLabel {
+    fn words(&self) -> usize {
+        self.local.words() + 2 + self.virt_light.iter().map(WordSized::words).sum::<usize>()
+    }
+}
+
+/// A complete baseline scheme.
+#[derive(Clone, Debug, Default)]
+pub struct BaselineScheme {
+    /// Per host vertex, the two-level table.
+    pub tables: Vec<Option<BaselineTable>>,
+    /// Per host vertex, the two-level label.
+    pub labels: Vec<Option<BaselineLabel>>,
+}
+
+impl BaselineScheme {
+    /// Largest table, in words.
+    pub fn max_table_words(&self) -> usize {
+        self.tables
+            .iter()
+            .flatten()
+            .map(WordSized::words)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Largest label, in words.
+    pub fn max_label_words(&self) -> usize {
+        self.labels
+            .iter()
+            .flatten()
+            .map(WordSized::words)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Output of the baseline construction.
+#[derive(Clone, Debug)]
+pub struct BaselineOutput {
+    /// The two-level scheme.
+    pub scheme: BaselineScheme,
+    /// Round accounting.
+    pub ledger: CostLedger,
+    /// Per-vertex memory peaks — Ω̃(√n) at virtual vertices by design.
+    pub memory: MemoryMeter,
+    /// `|U(T)|`.
+    pub virtual_count: usize,
+    /// Largest local-tree depth.
+    pub max_local_depth: usize,
+}
+
+/// Build the baseline scheme for `tree` inside `network` with sampling
+/// probability `q` (`None` → `1/√n`).
+///
+/// # Panics
+///
+/// Panics if the tree is empty or host sizes disagree.
+pub fn build<R: Rng>(
+    network: &Network,
+    tree: &RootedTree,
+    q: Option<f64>,
+    rng: &mut R,
+) -> BaselineOutput {
+    build_with_backbone(network, tree, q, None, rng)
+}
+
+/// [`build`] with an optional pre-built BFS backbone depth (skips the BFS
+/// protocol run and its metering, as in
+/// [`crate::distributed::Config::backbone_depth`]).
+///
+/// # Panics
+///
+/// Panics if the tree is empty or host sizes disagree.
+pub fn build_with_backbone<R: Rng>(
+    network: &Network,
+    tree: &RootedTree,
+    q: Option<f64>,
+    backbone_depth: Option<usize>,
+    rng: &mut R,
+) -> BaselineOutput {
+    let host_n = tree.host_len();
+    assert_eq!(host_n, network.len(), "tree host must match network");
+    let n = tree.num_vertices();
+    assert!(n > 0, "tree must be non-empty");
+    let root = tree.root();
+    let q = q.unwrap_or(1.0 / (n as f64).sqrt()).clamp(0.0, 1.0);
+
+    let mut ledger = CostLedger::new();
+    let mut memory = MemoryMeter::new(host_n);
+
+    // BFS backbone for broadcasts (shared if the caller already has one).
+    let d = match backbone_depth {
+        Some(depth) => depth as u64,
+        None => {
+            let bfs_out = bfs::build_bfs_tree(network, root);
+            ledger.charge_rounds(bfs_out.stats.rounds);
+            for v in network.graph().vertices() {
+                memory.add(v, 3);
+            }
+            bfs_out.depth as u64
+        }
+    };
+
+    // Sample U(T) and partition into local trees (as in the main scheme).
+    let mut sampled_flag = vec![false; host_n];
+    for v in tree.vertices() {
+        sampled_flag[v.index()] = v == root || rng.gen_bool(q);
+    }
+    let mut by_depth: Vec<VertexId> = tree.vertices().collect();
+    by_depth.sort_by_key(|&v| (tree.depth_of(v).expect("member"), v));
+    let mut local_root: Vec<Option<VertexId>> = vec![None; host_n];
+    let mut local_depth = vec![0usize; host_n];
+    let mut virt_parent: Vec<Option<VertexId>> = vec![None; host_n];
+    for &v in &by_depth {
+        let i = v.index();
+        if sampled_flag[i] {
+            local_root[i] = Some(v);
+            if let Some(p) = tree.parent(v) {
+                virt_parent[i] = local_root[p.index()];
+            }
+        } else {
+            let p = tree.parent(v).expect("non-root member");
+            local_root[i] = local_root[p.index()];
+            local_depth[i] = local_depth[p.index()] + 1;
+        }
+    }
+    let b = by_depth
+        .iter()
+        .map(|&v| local_depth[v.index()])
+        .max()
+        .unwrap_or(0) as u64;
+    ledger.charge_rounds(b + 1);
+    let sampled: Vec<VertexId> = by_depth
+        .iter()
+        .copied()
+        .filter(|&v| sampled_flag[v.index()])
+        .collect();
+    let iters = log2_ceil(n.max(2)) as u64;
+
+    // ---- Local schemes: a TZ scheme per local tree -------------------------
+    // (Local waves, as in the main scheme: O(b + log n) rounds per stage.)
+    let mut local_parent: Vec<Option<VertexId>> = vec![None; host_n];
+    let mut local_weight: Vec<Weight> = vec![0; host_n];
+    for &v in &by_depth {
+        let i = v.index();
+        if !sampled_flag[i] {
+            local_parent[i] = tree.parent(v);
+            local_weight[i] = tree.parent_weight(v);
+        }
+    }
+    // One forest: all local trees share the host universe, so build each
+    // local scheme from its own RootedTree.
+    let mut local_scheme = crate::types::TreeScheme::new(host_n);
+    for &w in &sampled {
+        let mut p = vec![None; host_n];
+        let mut pw = vec![0; host_n];
+        for &v in &by_depth {
+            let i = v.index();
+            if local_root[i] == Some(w) && v != w {
+                p[i] = local_parent[i];
+                pw[i] = local_weight[i];
+            }
+        }
+        let t_w = RootedTree::from_parents(w, p, pw);
+        let s_w = tz::build(&t_w);
+        for v in t_w.vertices() {
+            local_scheme.tables[v.index()] = s_w.tables[v.index()].clone();
+            local_scheme.labels[v.index()] = s_w.labels[v.index()].clone();
+        }
+    }
+    ledger.charge_rounds(3 * (b + iters + 1));
+    for v in tree.vertices() {
+        let i = v.index();
+        let mut words = 8;
+        if let Some(l) = local_scheme.labels[i].as_ref() {
+            words += l.words() + 4;
+        }
+        memory.add(v, words);
+    }
+
+    // ---- Materialize the virtual tree at every virtual vertex --------------
+    // Convergecast + broadcast of |U| records of O(1) words; every virtual
+    // vertex stores the whole of T' — the Ω̃(√n) memory step.
+    ledger.charge_broadcast(sampled.len() as u64, d);
+    for &x in &sampled {
+        memory.add(x, 3 * sampled.len());
+    }
+
+    // The virtual tree T' as a RootedTree over the host universe.
+    let virt_tree = {
+        let mut p = vec![None; host_n];
+        let mut pw = vec![0; host_n];
+        for &x in &sampled {
+            if let Some(vp) = virt_parent[x.index()] {
+                p[x.index()] = Some(vp);
+                pw[x.index()] = 1;
+            }
+        }
+        RootedTree::from_parents(root, p, pw)
+    };
+    // Each virtual vertex computes the T' scheme locally — zero rounds.
+    let virt_scheme = tz::build(&virt_tree);
+
+    // ---- Gates: local labels of virtual children's tree-parents ------------
+    // Each virtual child y sends its gate (local label of p(y) within
+    // T_{p'(y)}) alongside the virtual-label broadcast.
+    let gate_of = |y: VertexId| -> TreeLabel {
+        match tree.parent(y) {
+            Some(p) => local_scheme.labels[p.index()]
+                .clone()
+                .expect("gate parent has a local label"),
+            None => TreeLabel {
+                enter: 0,
+                light: Vec::new(),
+            },
+        }
+    };
+    let gate_words: u64 = sampled.iter().map(|&y| gate_of(y).words() as u64).sum();
+    ledger.charge_broadcast(gate_words, d);
+
+    // ---- Assemble per-vertex tables and labels -----------------------------
+    let mut scheme = BaselineScheme {
+        tables: vec![None; host_n],
+        labels: vec![None; host_n],
+    };
+    for &w in &sampled {
+        let vt = virt_scheme.table(w).expect("virtual member").clone();
+        let vl = virt_scheme.label(w).expect("virtual member").clone();
+        let heavy_gate = vt.heavy.map(gate_of);
+        let virt_entry = VirtualEntry {
+            enter: vt.enter,
+            exit: vt.exit,
+            parent: virt_tree.parent(w),
+            heavy: vt.heavy,
+            heavy_gate,
+        };
+        let virt_light: Vec<VirtualLightEdge> = vl
+            .light
+            .iter()
+            .map(|&(x, y)| VirtualLightEdge {
+                parent: x,
+                child: y,
+                gate: gate_of(y),
+            })
+            .collect();
+        // Distribute the entry and label material down T_w (pipelined wave).
+        for &v in &by_depth {
+            let i = v.index();
+            if local_root[i] != Some(w) {
+                continue;
+            }
+            let mut local = local_scheme.tables[i].clone().expect("local member");
+            local.parent = tree.parent(v); // ascend across boundaries
+            scheme.tables[i] = Some(BaselineTable {
+                local,
+                local_root: w,
+                virt: virt_entry.clone(),
+            });
+            scheme.labels[i] = Some(BaselineLabel {
+                local: local_scheme.labels[i].clone().expect("local member"),
+                local_root: w,
+                virt_enter: vt.enter,
+                virt_light: virt_light.clone(),
+            });
+        }
+    }
+    ledger.charge_rounds(b + (iters * iters).max(1));
+    for v in tree.vertices() {
+        let i = v.index();
+        let t = scheme.tables[i].as_ref().expect("member").words();
+        let l = scheme.labels[i].as_ref().expect("member").words();
+        memory.add(v, t + l);
+    }
+
+    BaselineOutput {
+        scheme,
+        ledger,
+        memory,
+        virtual_count: sampled.len(),
+        max_local_depth: b as usize,
+    }
+}
+
+/// Route `src → dst` with the baseline scheme; returns the visited path and
+/// its weight. Exact (zero stretch) like every tree scheme.
+///
+/// # Errors
+///
+/// Mirrors [`crate::router::route`]'s failure modes.
+pub fn route(
+    tree: &RootedTree,
+    scheme: &BaselineScheme,
+    src: VertexId,
+    dst: VertexId,
+) -> Result<crate::router::RouteTrace, RouteError> {
+    if scheme.tables[src.index()].is_none() {
+        return Err(RouteError::SourceNotInTree(src));
+    }
+    let label = scheme.labels[dst.index()]
+        .as_ref()
+        .ok_or(RouteError::TargetNotInTree(dst))?;
+    let mut path = vec![src];
+    let mut weight: Weight = 0;
+    let mut cur = src;
+    let cap = 2 * tree.host_len() + 2;
+    loop {
+        if path.len() > cap {
+            return Err(RouteError::Loop);
+        }
+        let table = scheme.tables[cur.index()].as_ref().expect("has table");
+        let action = decide(cur, table, label).ok_or(RouteError::Stuck(cur))?;
+        match action {
+            RouteAction::Deliver => return Ok(crate::router::RouteTrace { path, weight }),
+            RouteAction::Forward(next) => {
+                let is_edge = tree.parent(cur) == Some(next) || tree.parent(next) == Some(cur);
+                if !is_edge || scheme.tables[next.index()].is_none() {
+                    return Err(RouteError::BadForward { from: cur, to: next });
+                }
+                weight += if tree.parent(cur) == Some(next) {
+                    tree.parent_weight(cur)
+                } else {
+                    tree.parent_weight(next)
+                };
+                path.push(next);
+                cur = next;
+            }
+        }
+    }
+}
+
+/// The two-level forwarding rule at vertex `me`: local TZ when the local
+/// roots agree, otherwise a virtual-level TZ step resolved to ascend or to a
+/// descent gate. Exposed so higher-level schemes (the general-graph prior
+/// baseline) can drive it hop by hop.
+pub fn decide(me: VertexId, table: &BaselineTable, label: &BaselineLabel) -> Option<RouteAction> {
+    if table.local_root == label.local_root {
+        // Same local tree: plain TZ on the local scheme.
+        return route_step(me, &table.local, &label.local);
+    }
+    // Virtual-level TZ step at w = our local root.
+    let vt = TreeTable {
+        enter: table.virt.enter,
+        exit: table.virt.exit,
+        parent: table.virt.parent,
+        heavy: table.virt.heavy,
+    };
+    let vl = TreeLabel {
+        enter: label.virt_enter,
+        light: label
+            .virt_light
+            .iter()
+            .map(|e| (e.parent, e.child))
+            .collect(),
+    };
+    match route_step(table.local_root, &vt, &vl)? {
+        RouteAction::Deliver => None, // impossible: roots differ
+        RouteAction::Forward(c) => {
+            if Some(c) == table.virt.parent {
+                // Ascend: toward our tree parent (crosses the boundary at w).
+                return table.local.parent.map(RouteAction::Forward);
+            }
+            // Descend toward virtual child c: local-route to its gate p(c),
+            // then cross the tree edge (p(c), c).
+            let gate = if Some(c) == table.virt.heavy {
+                table.virt.heavy_gate.as_ref()?
+            } else {
+                &label.virt_light.iter().find(|e| e.child == c)?.gate
+            };
+            if gate.enter == table.local.enter {
+                // We are the gate: cross to the virtual child itself.
+                return Some(RouteAction::Forward(c));
+            }
+            route_step(me, &table.local, gate)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphs::{generators, tree::shortest_path_tree};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn setup(n: usize, seed: u64) -> (Network, RootedTree, ChaCha8Rng) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = generators::erdos_renyi_connected(n, 2.5 / n as f64, 1..=15, &mut rng);
+        let t = shortest_path_tree(&g, VertexId(0));
+        (Network::new(g), t, rng)
+    }
+
+    fn verify_exact(tree: &RootedTree, scheme: &BaselineScheme) {
+        let verts: Vec<VertexId> = tree.vertices().collect();
+        for &u in &verts {
+            for &v in &verts {
+                let trace = route(tree, scheme, u, v)
+                    .unwrap_or_else(|e| panic!("routing {u} -> {v}: {e}"));
+                assert_eq!(
+                    Some(trace.weight),
+                    tree.tree_distance(u, v),
+                    "stretch violation {u} -> {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn baseline_routes_exactly() {
+        for seed in 0..4 {
+            let (net, t, mut rng) = setup(70, seed);
+            let out = build(&net, &t, None, &mut rng);
+            verify_exact(&t, &out.scheme);
+        }
+    }
+
+    #[test]
+    fn baseline_routes_exactly_with_aggressive_sampling() {
+        let (net, t, mut rng) = setup(60, 91);
+        let out = build(&net, &t, Some(0.5), &mut rng);
+        verify_exact(&t, &out.scheme);
+    }
+
+    #[test]
+    fn baseline_single_local_tree() {
+        let (net, t, mut rng) = setup(40, 92);
+        let out = build(&net, &t, Some(0.0), &mut rng);
+        assert_eq!(out.virtual_count, 1);
+        verify_exact(&t, &out.scheme);
+    }
+
+    #[test]
+    fn baseline_all_virtual() {
+        let (net, t, mut rng) = setup(40, 93);
+        let out = build(&net, &t, Some(1.0), &mut rng);
+        assert_eq!(out.virtual_count, 40);
+        verify_exact(&t, &out.scheme);
+    }
+
+    #[test]
+    fn baseline_memory_scales_with_virtual_count() {
+        let (net, t, mut rng) = setup(500, 94);
+        let out = build(&net, &t, None, &mut rng);
+        // Virtual vertices hold a full copy of T': ≥ 3·|U| words.
+        assert!(
+            out.memory.max_peak() >= 3 * out.virtual_count,
+            "baseline memory {} should be at least 3·|U| = {}",
+            out.memory.max_peak(),
+            3 * out.virtual_count
+        );
+    }
+
+    #[test]
+    fn baseline_sizes_are_larger_than_ours() {
+        let (net, t, mut rng) = setup(300, 95);
+        let base = build(&net, &t, None, &mut rng);
+        let ours = crate::distributed::build_default(&net, &t, &mut rng);
+        assert!(base.scheme.max_table_words() > ours.scheme.max_table_words());
+        assert!(base.scheme.max_label_words() >= ours.scheme.max_label_words());
+    }
+
+    #[test]
+    fn baseline_errors_on_foreign_endpoints() {
+        let mut rng = ChaCha8Rng::seed_from_u64(96);
+        let g = generators::path(5, 1..=1, &mut rng);
+        // Tree spanning only part of the host: route from outside fails.
+        let t = RootedTree::from_parents(
+            VertexId(0),
+            vec![None, Some(VertexId(0)), None, None, None],
+            vec![0, 1, 0, 0, 0],
+        );
+        let net = Network::new(g);
+        let out = build(&net, &t, None, &mut rng);
+        assert_eq!(
+            route(&t, &out.scheme, VertexId(3), VertexId(0)),
+            Err(RouteError::SourceNotInTree(VertexId(3)))
+        );
+        assert_eq!(
+            route(&t, &out.scheme, VertexId(0), VertexId(3)),
+            Err(RouteError::TargetNotInTree(VertexId(3)))
+        );
+    }
+}

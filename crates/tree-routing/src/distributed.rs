@@ -1,0 +1,659 @@
+//! The paper's distributed tree-routing construction (§3 + Appendix A).
+//!
+//! Given a tree `T` inside a network of hop-diameter `D`, the construction
+//! samples `U(T)` (probability `q ≈ 1/√n` plus the root), which cuts `T`
+//! into shallow *local trees* `T_w`, and runs three stages:
+//!
+//! 1. **Subtree sizes** — local convergecasts up each `T_w`, then Algorithm 1
+//!    (pointer jumping over the *virtual tree* `T'` via network-wide
+//!    broadcasts), then local redistribution; heavy children follow.
+//! 2. **Light edges** — Algorithm 2 (local lists), Algorithm 3 (pointer
+//!    jumping concatenation), local redistribution.
+//! 3. **DFS ranges** — Algorithm 5 (logarithmic-round range partition among
+//!    siblings), Algorithm 4 (local DFS waves), Algorithm 6 (pointer-jumped
+//!    range shifts), local redistribution.
+//!
+//! The punchline (Theorem 2): `Õ(√n + D)` rounds, tables of `O(1)` words,
+//! labels of `O(log n)` words, and — crucially — **`O(log n)` words of
+//! memory per vertex**, because the virtual tree `T'` is never materialized
+//! anywhere: each virtual vertex keeps only its `log n` pointer-jumping
+//! ancestors and digests broadcast streams one message at a time.
+//!
+//! Every per-vertex quantity below lives in a struct-of-arrays `VertexState`
+//! holding *only* what the model lets that vertex hold; rounds are charged to
+//! a [`CostLedger`] per the schedule above, and memory is metered after every
+//! stage (plus transient touches) by a [`MemoryMeter`].
+
+use congest::{bfs, CostLedger, MemoryMeter, Network};
+use graphs::{RootedTree, VertexId};
+use rand::Rng;
+
+use crate::tz;
+use crate::types::{TreeLabel, TreeScheme, TreeTable};
+
+/// Ceiling of log₂, with `log2_ceil(0) = log2_ceil(1) = 0`.
+pub fn log2_ceil(n: usize) -> usize {
+    if n <= 1 {
+        0
+    } else {
+        (usize::BITS - (n - 1).leading_zeros()) as usize
+    }
+}
+
+/// Tuning knobs for the construction.
+#[derive(Clone, Debug, Default)]
+pub struct Config {
+    /// Sampling probability for `U`; `None` selects the paper's `1/√n`.
+    pub q: Option<f64>,
+    /// Depth of an already-built BFS broadcast backbone. When set, the
+    /// construction neither re-runs the BFS protocol nor re-meters its 3
+    /// words per vertex — callers constructing many trees (the general-graph
+    /// scheme, [`crate::multi`]) build the backbone once and share it.
+    pub backbone_depth: Option<usize>,
+}
+
+/// Per-vertex protocol state. One instance per host vertex; algorithms only
+/// ever read/write a vertex's own entry plus messages charged to the ledger.
+#[derive(Clone, Debug, Default)]
+struct VertexState {
+    in_tree: bool,
+    sampled: bool,
+    /// Root of the local tree containing this vertex.
+    local_root: Option<VertexId>,
+    /// For sampled vertices: the parent in the virtual tree `T'`.
+    virt_parent: Option<VertexId>,
+    /// Depth within the local tree.
+    local_depth: usize,
+    /// Subtree size within the local tree (Stage 1a).
+    s_local: u64,
+    /// Subtree size within the global tree (Stage 1b/1c).
+    s_global: u64,
+    /// Heavy child in `T` (Stage 1d).
+    heavy: Option<VertexId>,
+    /// Pointer-jumping ancestors `a_i` (sampled vertices only) — `O(log n)`.
+    ancestors: Vec<Option<VertexId>>,
+    /// Accumulated subtree size `s_i` during Algorithm 1.
+    s_jump: u64,
+    /// Light edges from the local root (non-sampled) or from the virtual
+    /// parent (sampled) to this vertex — Algorithm 2's `L(u)`.
+    light_local: Vec<(VertexId, VertexId)>,
+    /// Global light list (from the root of `T`) after Stages 2b/2c.
+    light_global: Vec<(VertexId, VertexId)>,
+    /// Local DFS range (Stage 3a), 1-based within the local frame.
+    range: (u64, u64),
+    /// Range offset `q_x` this vertex's range had inside its parent's frame.
+    q_shift: u64,
+    /// Total shift after Algorithm 6.
+    shift: u64,
+}
+
+impl VertexState {
+    /// Words of persistent state currently held — the quantity Theorem 2
+    /// bounds by `O(log n)`.
+    fn words(&self) -> usize {
+        // Scalar fields: membership, roots, sizes, heavy child, range, shifts.
+        let scalars = 12;
+        scalars
+            + self.ancestors.len()
+            + 2 * self.light_local.len()
+            + 2 * self.light_global.len()
+    }
+}
+
+/// Output of the distributed construction.
+#[derive(Clone, Debug)]
+pub struct DistributedOutput {
+    /// The routing scheme — identical to [`crate::tz::build`] on the same
+    /// tree (same tie-breaking), as the tests assert.
+    pub scheme: TreeScheme,
+    /// Round/message accounting for the whole construction.
+    pub ledger: CostLedger,
+    /// Per-vertex memory high-water marks.
+    pub memory: MemoryMeter,
+    /// `|U(T)|` — number of sampled roots (including the tree root).
+    pub virtual_count: usize,
+    /// Depth of the (never materialized) virtual tree `T'` — the number of
+    /// hops a naive per-virtual-edge convergecast would traverse.
+    pub virtual_depth: usize,
+    /// Largest local-tree depth `b` (the `Õ(1/q)` quantity).
+    pub max_local_depth: usize,
+    /// Hop depth of the BFS broadcast tree used (≤ D).
+    pub bfs_depth: usize,
+}
+
+/// Run the paper's construction for `tree` inside `network`.
+///
+/// # Panics
+///
+/// Panics if the tree is empty or its root is outside the host universe.
+pub fn build<R: Rng>(
+    network: &Network,
+    tree: &RootedTree,
+    config: &Config,
+    rng: &mut R,
+) -> DistributedOutput {
+    let host_n = tree.host_len();
+    assert_eq!(host_n, network.len(), "tree host must match network");
+    let n = tree.num_vertices();
+    assert!(n > 0, "tree must be non-empty");
+    let root = tree.root();
+
+    let mut ledger = CostLedger::new();
+    let mut memory = MemoryMeter::new(host_n);
+
+    // The BFS broadcast backbone: built once by the real protocol (O(D)
+    // rounds); its depth prices every Lemma-1 broadcast below. Callers that
+    // already hold a backbone share it via the config.
+    let d = match config.backbone_depth {
+        Some(depth) => depth as u64,
+        None => {
+            let bfs_out = bfs::build_bfs_tree(network, root);
+            ledger.charge_rounds(bfs_out.stats.rounds);
+            ledger.charge_messages(bfs_out.stats.messages);
+            for v in network.graph().vertices() {
+                memory.add(v, 3); // BFS parent/depth/flag, kept for broadcasts
+            }
+            bfs_out.depth as u64
+        }
+    };
+
+    // Sample U. Every vertex flips its own coin — zero rounds.
+    let q = config.q.unwrap_or(1.0 / (n as f64).sqrt());
+    let mut st: Vec<VertexState> = vec![VertexState::default(); host_n];
+    for v in tree.vertices() {
+        st[v.index()].in_tree = true;
+        st[v.index()].sampled = v == root || rng.gen_bool(q.clamp(0.0, 1.0));
+    }
+
+    // Deterministic wave order: tree vertices by increasing depth in T.
+    // (Scaffolding for the simulation loop only — no vertex stores this.)
+    let by_depth: Vec<VertexId> = {
+        let mut depth = vec![0usize; host_n];
+        let preorder = tree.preorder();
+        for &v in &preorder {
+            if let Some(p) = tree.parent(v) {
+                depth[v.index()] = depth[p.index()] + 1;
+            }
+        }
+        let mut order = preorder;
+        order.sort_by_key(|&v| (depth[v.index()], v));
+        order
+    };
+
+    // ---- Phase 0: partition into local trees -------------------------------
+    // Each w ∈ U(T) floods "I am your local root" down, stopping at sampled
+    // vertices; runs in max-local-depth rounds, all trees in parallel.
+    for &v in &by_depth {
+        let i = v.index();
+        if st[i].sampled {
+            st[i].local_root = Some(v);
+            st[i].local_depth = 0;
+            if v != root {
+                let p = tree.parent(v).expect("non-root");
+                st[i].virt_parent = st[p.index()].local_root;
+            }
+        } else {
+            let p = tree.parent(v).expect("non-root member");
+            st[i].local_root = st[p.index()].local_root;
+            st[i].local_depth = st[p.index()].local_depth + 1;
+        }
+    }
+    let b = st.iter().map(|s| s.local_depth).max().unwrap_or(0) as u64;
+    ledger.charge_rounds(b + 1);
+    let virtual_count = st.iter().filter(|s| s.sampled).count();
+    // Virtual-tree depth (simulation statistic only — no vertex stores it).
+    let virtual_depth = {
+        let mut vd = vec![0usize; host_n];
+        let mut deepest = 0;
+        for &v in &by_depth {
+            let i = v.index();
+            if st[i].sampled && v != root {
+                let vp = st[i].virt_parent.expect("sampled non-root has p'");
+                vd[i] = vd[vp.index()] + 1;
+                deepest = deepest.max(vd[i]);
+            }
+        }
+        deepest
+    };
+    let iters = log2_ceil(n.max(2));
+
+    // ---- Stage 1a: local subtree sizes (convergecast, b rounds) ------------
+    for &v in by_depth.iter().rev() {
+        let i = v.index();
+        let mut s = 1u64;
+        for &c in tree.children(v) {
+            if !st[c.index()].sampled {
+                s += st[c.index()].s_local;
+            }
+        }
+        st[i].s_local = s;
+    }
+    ledger.charge_rounds(b + 1);
+
+    // ---- Stage 1b: Algorithm 1 (global subtree sizes by pointer jumping) ---
+    let sampled: Vec<VertexId> = tree.vertices().filter(|&v| st[v.index()].sampled).collect();
+    for &x in &sampled {
+        let i = x.index();
+        st[i].ancestors = vec![st[i].virt_parent];
+        st[i].s_jump = st[i].s_local;
+    }
+    for it in 0..iters {
+        // Broadcast (x, s_i(x), a_i(x)) for every sampled x: Lemma 1.
+        ledger.charge_broadcast(sampled.len() as u64, d);
+        // Each x digests the stream message-by-message: O(1) transient words.
+        let snapshot_a: Vec<Option<VertexId>> =
+            sampled.iter().map(|&x| st[x.index()].ancestors[it]).collect();
+        let snapshot_s: Vec<u64> = sampled.iter().map(|&x| st[x.index()].s_jump).collect();
+        for (k, &x) in sampled.iter().enumerate() {
+            memory.touch(x, 3);
+            // a_{i+1}(x) = a_i(a_i(x)).
+            let next = match snapshot_a[k] {
+                Some(a) => {
+                    let pos = sampled.iter().position(|&y| y == a).expect("sampled");
+                    snapshot_a[pos]
+                }
+                None => None,
+            };
+            st[x.index()].ancestors.push(next);
+        }
+        for (k, _) in sampled.iter().enumerate() {
+            if let Some(a) = snapshot_a[k] {
+                st[a.index()].s_jump += snapshot_s[k];
+            }
+        }
+        for &x in &sampled {
+            memory.set(x, st[x.index()].words());
+        }
+    }
+    for &x in &sampled {
+        st[x.index()].s_global = st[x.index()].s_jump;
+    }
+
+    // ---- Stage 1c: redistribute global sizes into local trees --------------
+    // Leaves of each T_w re-converge sizes, with sampled children now
+    // contributing their exact global size.
+    for &v in by_depth.iter().rev() {
+        let i = v.index();
+        if st[i].sampled {
+            continue;
+        }
+        let mut s = 1u64;
+        for &c in tree.children(v) {
+            s += st[c.index()].s_global;
+        }
+        st[i].s_global = s;
+    }
+    // Sampled vertices already hold their global size; fix their value having
+    // been computed bottom-up *after* children (the loop above reads children
+    // first, so recompute sampled-rooted sums are already correct).
+    ledger.charge_rounds(b + 1);
+
+    // ---- Stage 1d: heavy children (children report sizes; streaming max) ---
+    for &v in &by_depth {
+        let i = v.index();
+        let mut best: Option<(u64, VertexId)> = None;
+        for &c in tree.children(v) {
+            memory.touch(v, 2);
+            let s = st[c.index()].s_global;
+            best = match best {
+                None => Some((s, c)),
+                Some((bs, bc)) => {
+                    if s > bs || (s == bs && c < bc) {
+                        Some((s, c))
+                    } else {
+                        Some((bs, bc))
+                    }
+                }
+            };
+        }
+        st[i].heavy = best.map(|(_, c)| c);
+    }
+    ledger.charge_rounds(1);
+    for v in tree.vertices() {
+        memory.set(v, st[v.index()].words());
+    }
+
+    // ---- Stage 2a: Algorithm 2 (local light edges) --------------------------
+    // Top-down within each local tree; every vertex receives its parent's
+    // list and appends its own edge if it is not the heavy child. The lists
+    // are O(log n) words, so the pipelined wave costs b + O(log n) rounds.
+    for &v in &by_depth {
+        let i = v.index();
+        if st[i].sampled && v == root {
+            continue;
+        }
+        let p = match tree.parent(v) {
+            Some(p) => p,
+            None => continue,
+        };
+        let mut list = if st[p.index()].sampled {
+            Vec::new()
+        } else {
+            st[p.index()].light_local.clone()
+        };
+        if st[p.index()].heavy != Some(v) {
+            list.push((p, v));
+        }
+        st[i].light_local = list;
+        memory.set(v, st[i].words());
+    }
+    ledger.charge_rounds(b + iters as u64 + 1);
+
+    // ---- Stage 2b: Algorithm 3 (global light edges by pointer jumping) -----
+    // L_0(x) is the just-computed local list (path from p'(x) to x); the root
+    // has the empty list. L_{i+1}(x) = L_i(a_i(x)) ++ L_i(x).
+    for &x in &sampled {
+        st[x.index()].light_global = st[x.index()].light_local.clone();
+        memory.set(x, st[x.index()].words());
+    }
+    for it in 0..iters {
+        let words: u64 = sampled
+            .iter()
+            .map(|&x| 1 + 2 * st[x.index()].light_global.len() as u64)
+            .sum();
+        ledger.charge_broadcast(words, d);
+        let snapshot: Vec<Vec<(VertexId, VertexId)>> = sampled
+            .iter()
+            .map(|&x| st[x.index()].light_global.clone())
+            .collect();
+        for (k, &x) in sampled.iter().enumerate() {
+            if let Some(a) = st[x.index()].ancestors[it] {
+                let pos = sampled.iter().position(|&y| y == a).expect("sampled");
+                let mut merged = snapshot[pos].clone();
+                merged.extend_from_slice(&snapshot[k]);
+                memory.touch(x, 2 * merged.len());
+                st[x.index()].light_global = merged;
+            }
+            memory.set(x, st[x.index()].words());
+        }
+    }
+
+    // ---- Stage 2c: distribute full lists into local trees ------------------
+    // y's global list = (local root's global list) ++ (y's local list).
+    for &v in &by_depth {
+        let i = v.index();
+        if st[i].sampled {
+            continue;
+        }
+        let w = st[i].local_root.expect("partitioned");
+        let mut list = st[w.index()].light_global.clone();
+        list.extend_from_slice(&st[i].light_local);
+        st[i].light_global = list;
+        memory.set(v, st[i].words());
+    }
+    ledger.charge_rounds(b + iters as u64 + 1);
+
+    // ---- Stage 3a: Algorithms 4 + 5 (local DFS with range partition) -------
+    // Algorithm 5 runs once, in parallel for every internal vertex: each
+    // child y_j learns the prefix sum S(y_j) of its elder siblings' global
+    // sizes in 2·log n rounds with O(1) memory per vertex. The DFS wave then
+    // needs only the parent's range start (1 word to all children).
+    ledger.charge_rounds(2 * iters as u64);
+    // prefix[c] = sum of s_global over elder siblings of c (exclusive).
+    let mut prefix = vec![0u64; host_n];
+    for &v in &by_depth {
+        let mut acc = 0u64;
+        for &c in tree.children(v) {
+            memory.touch(c, 2);
+            prefix[c.index()] = acc;
+            acc += st[c.index()].s_global;
+        }
+    }
+    // The DFS wave: local roots own [1, s_global]; children compute their
+    // range from the parent's start, their prefix sum, and their own size.
+    for &v in &by_depth {
+        let i = v.index();
+        if st[i].sampled {
+            st[i].range = (1, st[i].s_global);
+            if v == root {
+                st[i].q_shift = 0;
+            }
+        }
+        let start = st[i].range.0;
+        for &c in tree.children(v) {
+            let ci = c.index();
+            let c_start = start + 1 + prefix[ci];
+            if st[ci].sampled {
+                // Virtual child: records its offset, does not forward.
+                st[ci].q_shift = c_start - 1;
+            } else {
+                st[ci].range = (c_start, c_start + st[ci].s_global - 1);
+            }
+        }
+    }
+    ledger.charge_rounds(b + 1);
+
+    // ---- Stage 3b: Algorithm 6 (global shifts by pointer jumping) ----------
+    for &x in &sampled {
+        st[x.index()].shift = st[x.index()].q_shift;
+    }
+    for it in 0..iters {
+        ledger.charge_broadcast(sampled.len() as u64, d);
+        let snapshot: Vec<u64> = sampled.iter().map(|&x| st[x.index()].shift).collect();
+        for (k, &x) in sampled.iter().enumerate() {
+            if let Some(a) = st[x.index()].ancestors[it] {
+                let pos = sampled.iter().position(|&y| y == a).expect("sampled");
+                memory.touch(x, 1);
+                st[x.index()].shift = snapshot[k] + snapshot[pos];
+            }
+        }
+    }
+
+    // ---- Stage 3c: distribute shifts; finalize tables and labels -----------
+    for &v in &by_depth {
+        let i = v.index();
+        if !st[i].sampled {
+            let w = st[i].local_root.expect("partitioned");
+            st[i].shift = st[w.index()].shift;
+        }
+        memory.set(v, st[i].words());
+    }
+    ledger.charge_rounds(b + 1);
+
+    let mut scheme = TreeScheme::new(host_n);
+    for v in tree.vertices() {
+        let i = v.index();
+        let enter = st[i].range.0 + st[i].shift;
+        let exit = st[i].range.1 + st[i].shift;
+        scheme.tables[i] = Some(TreeTable {
+            enter,
+            exit,
+            parent: tree.parent(v),
+            heavy: st[i].heavy,
+        });
+        scheme.labels[i] = Some(TreeLabel {
+            enter,
+            light: st[i].light_global.clone(),
+        });
+    }
+
+    DistributedOutput {
+        scheme,
+        ledger,
+        memory,
+        virtual_count,
+        virtual_depth,
+        max_local_depth: b as usize,
+        bfs_depth: d as usize,
+    }
+}
+
+/// Convenience: build with the default `q = 1/√n` and compare-ready output.
+pub fn build_default<R: Rng>(network: &Network, tree: &RootedTree, rng: &mut R) -> DistributedOutput {
+    build(network, tree, &Config::default(), rng)
+}
+
+/// Sanity helper used by tests and benches: assert the distributed scheme is
+/// *identical* to the centralized Thorup–Zwick scheme for the same tree.
+///
+/// # Panics
+///
+/// Panics with a description of the first mismatch.
+pub fn assert_matches_centralized(tree: &RootedTree, out: &DistributedOutput) {
+    let want = tz::build(tree);
+    for v in tree.vertices() {
+        assert_eq!(
+            out.scheme.table(v),
+            want.table(v),
+            "table mismatch at {v}"
+        );
+        assert_eq!(
+            out.scheme.label(v),
+            want.label(v),
+            "label mismatch at {v}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router;
+    use graphs::{generators, tree::shortest_path_tree};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn setup(n: usize, seed: u64) -> (Network, RootedTree, ChaCha8Rng) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = generators::erdos_renyi_connected(n, 2.5 / n as f64, 1..=20, &mut rng);
+        let t = shortest_path_tree(&g, VertexId(0));
+        (Network::new(g), t, rng)
+    }
+
+    #[test]
+    fn log2_ceil_values() {
+        assert_eq!(log2_ceil(0), 0);
+        assert_eq!(log2_ceil(1), 0);
+        assert_eq!(log2_ceil(2), 1);
+        assert_eq!(log2_ceil(3), 2);
+        assert_eq!(log2_ceil(4), 2);
+        assert_eq!(log2_ceil(5), 3);
+        assert_eq!(log2_ceil(1024), 10);
+        assert_eq!(log2_ceil(1025), 11);
+    }
+
+    #[test]
+    fn matches_centralized_on_random_networks() {
+        for seed in 0..5 {
+            let (net, t, mut rng) = setup(120, seed);
+            let out = build_default(&net, &t, &mut rng);
+            assert_matches_centralized(&t, &out);
+        }
+    }
+
+    #[test]
+    fn matches_centralized_on_geometric_networks() {
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        let g = generators::random_geometric_connected(150, 0.1, 1..=9, &mut rng);
+        let t = shortest_path_tree(&g, VertexId(3));
+        let net = Network::new(g);
+        let out = build_default(&net, &t, &mut rng);
+        assert_matches_centralized(&t, &out);
+    }
+
+    #[test]
+    fn routes_exactly() {
+        let (net, t, mut rng) = setup(60, 9);
+        let out = build_default(&net, &t, &mut rng);
+        router::verify_exactness(&t, &out.scheme);
+    }
+
+    #[test]
+    fn q_extremes_still_correct() {
+        let (net, t, mut rng) = setup(60, 10);
+        // q = 0: only the root is virtual (single local tree).
+        let out0 = build(&net, &t, &Config { q: Some(0.0), ..Config::default() }, &mut rng);
+        assert_matches_centralized(&t, &out0);
+        assert_eq!(out0.virtual_count, 1);
+        // q = 1: every vertex is virtual (local trees are single vertices).
+        let out1 = build(&net, &t, &Config { q: Some(1.0), ..Config::default() }, &mut rng);
+        assert_matches_centralized(&t, &out1);
+        assert_eq!(out1.virtual_count, t.num_vertices());
+        assert_eq!(out1.max_local_depth, 0);
+    }
+
+    #[test]
+    fn memory_is_logarithmic_not_sqrt() {
+        let (net, t, mut rng) = setup(400, 11);
+        let out = build_default(&net, &t, &mut rng);
+        let n = t.num_vertices();
+        let bound = 15 + 7 * log2_ceil(n);
+        assert!(
+            out.memory.max_peak() <= bound,
+            "peak memory {} exceeds O(log n) bound {}",
+            out.memory.max_peak(),
+            bound
+        );
+    }
+
+    #[test]
+    fn singleton_tree_works() {
+        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        let g = generators::star(1, 1..=1, &mut rng);
+        let t = shortest_path_tree(&g, VertexId(0));
+        let net = Network::new(g);
+        let out = build_default(&net, &t, &mut rng);
+        assert_matches_centralized(&t, &out);
+        let table = out.scheme.table(VertexId(0)).unwrap();
+        assert_eq!((table.enter, table.exit), (1, 1));
+    }
+
+    #[test]
+    fn path_network_works() {
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let g = generators::path(80, 1..=7, &mut rng);
+        let t = shortest_path_tree(&g, VertexId(0));
+        let net = Network::new(g);
+        let out = build_default(&net, &t, &mut rng);
+        assert_matches_centralized(&t, &out);
+    }
+
+    #[test]
+    fn star_network_works() {
+        let mut rng = ChaCha8Rng::seed_from_u64(14);
+        let g = generators::star(50, 1..=7, &mut rng);
+        let t = shortest_path_tree(&g, VertexId(0));
+        let net = Network::new(g);
+        let out = build_default(&net, &t, &mut rng);
+        assert_matches_centralized(&t, &out);
+    }
+
+    #[test]
+    fn rounds_scale_like_sqrt_n_plus_d() {
+        // Crude shape check: rounds on n=900 should be far below n, and
+        // roughly c·(√n·log n + D).
+        let (net, t, mut rng) = setup(900, 15);
+        let out = build_default(&net, &t, &mut rng);
+        let n = t.num_vertices() as f64;
+        let d = out.bfs_depth as f64;
+        let budget = 60.0 * (n.sqrt() * n.log2() + d);
+        assert!(
+            (out.ledger.rounds() as f64) < budget,
+            "rounds {} exceed Õ(√n + D) budget {}",
+            out.ledger.rounds(),
+            budget
+        );
+    }
+
+    #[test]
+    fn virtual_count_tracks_q() {
+        let (net, t, mut rng) = setup(500, 16);
+        let out = build(&net, &t, &Config { q: Some(0.1), ..Config::default() }, &mut rng);
+        let expected = 0.1 * 500.0;
+        assert!(
+            (out.virtual_count as f64) > expected / 3.0
+                && (out.virtual_count as f64) < expected * 3.0,
+            "virtual count {} far from {}",
+            out.virtual_count,
+            expected
+        );
+    }
+
+    #[test]
+    fn table_and_label_sizes_match_theorem() {
+        let (net, t, mut rng) = setup(300, 17);
+        let out = build_default(&net, &t, &mut rng);
+        assert_eq!(out.scheme.max_table_words(), 4);
+        assert!(out.scheme.max_label_words() <= 1 + 2 * log2_ceil(t.num_vertices()));
+    }
+}

@@ -1,0 +1,264 @@
+//! Routing tables, labels, and the Thorup–Zwick forwarding rule.
+//!
+//! The *sizes in words* of these structures are first-class experimental
+//! quantities (they are two columns of the paper's Table 2), so each type
+//! reports its footprint via [`congest::WordSized`].
+
+use congest::WordSized;
+use graphs::VertexId;
+
+/// The routing table a tree vertex stores — `O(1)` words.
+///
+/// Per \[TZ01b\]: the vertex's DFS interval, its parent, and its heavy child.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TreeTable {
+    /// DFS entry time; doubles as the vertex's identity inside the tree.
+    pub enter: u64,
+    /// DFS exit time: the subtree of this vertex is exactly the set of
+    /// vertices with entry times in `enter..=exit`.
+    pub exit: u64,
+    /// Tree parent (`None` at the root).
+    pub parent: Option<VertexId>,
+    /// Heavy child: the child with the largest subtree (`None` at leaves).
+    pub heavy: Option<VertexId>,
+}
+
+impl TreeTable {
+    /// Whether the vertex owning this table has `label`'s target in its
+    /// subtree.
+    #[inline]
+    pub fn subtree_contains(&self, label: &TreeLabel) -> bool {
+        self.enter <= label.enter && label.enter <= self.exit
+    }
+}
+
+impl WordSized for TreeTable {
+    fn words(&self) -> usize {
+        4
+    }
+}
+
+/// The label of a tree vertex — `O(log n)` words.
+///
+/// Per \[TZ01b\]: the vertex's DFS entry time plus the *light edges* on the
+/// path from the root: pairs `(parent, child)` for every path edge whose
+/// child is not the parent's heavy child. A root-to-vertex path has at most
+/// `⌊log₂ n⌋` light edges, bounding the label size.
+///
+/// Light edges name vertices by id (not DFS time) because the distributed
+/// construction discovers them in Stage 2, before DFS times exist.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TreeLabel {
+    /// DFS entry time of the labeled vertex (its in-tree identity).
+    pub enter: u64,
+    /// Light edges on the root path, ordered root-side first.
+    pub light: Vec<(VertexId, VertexId)>,
+}
+
+impl WordSized for TreeLabel {
+    fn words(&self) -> usize {
+        1 + 2 * self.light.len()
+    }
+}
+
+/// One forwarding decision.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RouteAction {
+    /// The message has arrived.
+    Deliver,
+    /// Forward to this neighbor in the tree.
+    Forward(VertexId),
+}
+
+/// The Thorup–Zwick forwarding rule: decide the next hop toward `label`'s
+/// target from vertex `me`, which owns `table`.
+///
+/// Returns `None` when the rule cannot make progress — the target is outside
+/// the tree (the root sees an entry time outside its interval) or the table
+/// is inconsistent; the caller reports this as a routing error.
+///
+/// # Examples
+///
+/// ```
+/// use tree_routing::types::{route_step, RouteAction, TreeLabel, TreeTable};
+/// use graphs::VertexId;
+///
+/// // Root [0..=1] with a single (heavy) child whose entry time is 1.
+/// let root = TreeTable { enter: 0, exit: 1, parent: None, heavy: Some(VertexId(5)) };
+/// let target = TreeLabel { enter: 1, light: vec![] };
+/// assert_eq!(
+///     route_step(VertexId(0), &root, &target),
+///     Some(RouteAction::Forward(VertexId(5)))
+/// );
+/// ```
+pub fn route_step(me: VertexId, table: &TreeTable, label: &TreeLabel) -> Option<RouteAction> {
+    if label.enter == table.enter {
+        return Some(RouteAction::Deliver);
+    }
+    if !table.subtree_contains(label) {
+        // Target is above or beside us: go to the parent.
+        return table.parent.map(RouteAction::Forward);
+    }
+    // Target is strictly below us: take the listed light edge if one leaves
+    // here, otherwise the heavy edge.
+    if let Some(&(_, child)) = label.light.iter().find(|&&(pe, _)| pe == me) {
+        return Some(RouteAction::Forward(child));
+    }
+    table.heavy.map(RouteAction::Forward)
+}
+
+/// A complete tree routing scheme: one table and one label per host vertex
+/// (entries are `None` for vertices outside the tree).
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct TreeScheme {
+    /// Per host vertex, the routing table (`None` outside the tree).
+    pub tables: Vec<Option<TreeTable>>,
+    /// Per host vertex, the label (`None` outside the tree).
+    pub labels: Vec<Option<TreeLabel>>,
+}
+
+impl TreeScheme {
+    /// An empty scheme over `n` host vertices.
+    pub fn new(n: usize) -> Self {
+        TreeScheme {
+            tables: vec![None; n],
+            labels: vec![None; n],
+        }
+    }
+
+    /// The table of `v`, if `v` is in the tree.
+    pub fn table(&self, v: VertexId) -> Option<&TreeTable> {
+        self.tables[v.index()].as_ref()
+    }
+
+    /// The label of `v`, if `v` is in the tree.
+    pub fn label(&self, v: VertexId) -> Option<&TreeLabel> {
+        self.labels[v.index()].as_ref()
+    }
+
+    /// Largest table size in words over tree vertices (0 if none).
+    pub fn max_table_words(&self) -> usize {
+        self.tables
+            .iter()
+            .flatten()
+            .map(WordSized::words)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Largest label size in words over tree vertices (0 if none).
+    pub fn max_label_words(&self) -> usize {
+        self.labels
+            .iter()
+            .flatten()
+            .map(WordSized::words)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(enter: u64, exit: u64, parent: Option<u32>, heavy: Option<u32>) -> TreeTable {
+        TreeTable {
+            enter,
+            exit,
+            parent: parent.map(VertexId),
+            heavy: heavy.map(VertexId),
+        }
+    }
+
+    #[test]
+    fn table_is_constant_size() {
+        assert_eq!(table(0, 9, None, Some(1)).words(), 4);
+    }
+
+    #[test]
+    fn label_size_grows_with_light_edges() {
+        let l0 = TreeLabel {
+            enter: 3,
+            light: vec![],
+        };
+        let l2 = TreeLabel {
+            enter: 3,
+            light: vec![(VertexId(0), VertexId(1)), (VertexId(5), VertexId(2))],
+        };
+        assert_eq!(l0.words(), 1);
+        assert_eq!(l2.words(), 5);
+    }
+
+    #[test]
+    fn step_delivers_on_identity() {
+        let t = table(4, 8, Some(0), Some(2));
+        let l = TreeLabel {
+            enter: 4,
+            light: vec![],
+        };
+        assert_eq!(route_step(VertexId(3), &t, &l), Some(RouteAction::Deliver));
+    }
+
+    #[test]
+    fn step_goes_up_when_target_outside_subtree() {
+        let t = table(4, 8, Some(9), Some(2));
+        let l = TreeLabel {
+            enter: 2,
+            light: vec![],
+        };
+        assert_eq!(
+            route_step(VertexId(3), &t, &l),
+            Some(RouteAction::Forward(VertexId(9)))
+        );
+    }
+
+    #[test]
+    fn step_prefers_listed_light_edge_over_heavy() {
+        let t = table(4, 8, Some(9), Some(2));
+        let l = TreeLabel {
+            enter: 6,
+            light: vec![(VertexId(3), VertexId(7))],
+        };
+        assert_eq!(
+            route_step(VertexId(3), &t, &l),
+            Some(RouteAction::Forward(VertexId(7)))
+        );
+    }
+
+    #[test]
+    fn step_defaults_to_heavy_child() {
+        let t = table(4, 8, Some(9), Some(2));
+        let l = TreeLabel {
+            enter: 6,
+            // Light edge elsewhere on the path, not at vertex 3.
+            light: vec![(VertexId(0), VertexId(7))],
+        };
+        assert_eq!(
+            route_step(VertexId(3), &t, &l),
+            Some(RouteAction::Forward(VertexId(2)))
+        );
+    }
+
+    #[test]
+    fn step_fails_at_root_for_foreign_target() {
+        let t = table(0, 8, None, Some(2));
+        let l = TreeLabel {
+            enter: 100,
+            light: vec![],
+        };
+        assert_eq!(route_step(VertexId(0), &t, &l), None);
+    }
+
+    #[test]
+    fn scheme_size_reports() {
+        let mut s = TreeScheme::new(2);
+        s.tables[0] = Some(table(0, 1, None, Some(1)));
+        s.labels[0] = Some(TreeLabel {
+            enter: 0,
+            light: vec![(VertexId(0), VertexId(1))],
+        });
+        assert_eq!(s.max_table_words(), 4);
+        assert_eq!(s.max_label_words(), 3);
+        assert!(s.table(VertexId(1)).is_none());
+    }
+}

@@ -1,0 +1,199 @@
+//! `drt` — the distributed-routing tool.
+//!
+//! A thin CLI over the library for users who want to try the scheme on
+//! their own networks without writing Rust:
+//!
+//! ```text
+//! drt generate <family> <n> [seed]          # emit an edge list to stdout
+//! drt info     <graph-file>                 # n, m, D, S, degrees, aspect ratio
+//! drt build    <graph-file> <k> <out-file>  # preprocess; save scheme bytes
+//! drt route    <graph-file> <scheme-file> <src> <dst>
+//! drt query    <graph-file> <scheme-file> <src> <dst>   # oracle distance
+//! drt stretch  <graph-file> <scheme-file> [sources]     # stretch statistics
+//! ```
+//!
+//! Graph files use the [`graphs::io`] edge-list format.
+
+use std::process::ExitCode;
+
+use graphs::{generators, io, properties, shortest_paths, Graph, VertexId};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use routing::oracle::DistanceOracle;
+use routing::{build, persist, router, BuildParams};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        Some("build") => cmd_build(&args[1..]),
+        Some("route") => cmd_route(&args[1..], false),
+        Some("query") => cmd_route(&args[1..], true),
+        Some("stretch") => cmd_stretch(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: drt <generate|info|build|route|query|stretch> ... (see crate docs)"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn load_graph(path: &str) -> Result<Graph, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    io::parse_edge_list(&text).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn parse_vertex(g: &Graph, tok: &str) -> Result<VertexId, String> {
+    let raw: u32 = tok
+        .parse()
+        .map_err(|_| format!("bad vertex id '{tok}'"))?;
+    if (raw as usize) < g.num_vertices() {
+        Ok(VertexId(raw))
+    } else {
+        Err(format!("vertex {raw} out of range (n = {})", g.num_vertices()))
+    }
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let [family, n, rest @ ..] = args else {
+        return Err("generate <er|geometric|torus|scale-free|expander> <n> [seed]".into());
+    };
+    let n: usize = n.parse().map_err(|_| format!("bad n '{n}'"))?;
+    let seed: u64 = rest
+        .first()
+        .map(|s| s.parse().map_err(|_| format!("bad seed '{s}'")))
+        .transpose()?
+        .unwrap_or(42);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let g = match family.as_str() {
+        "er" => generators::erdos_renyi_connected(n, 4.0 / n as f64, 1..=100, &mut rng),
+        "geometric" => {
+            let r = (3.0 * (n as f64).ln() / n as f64).sqrt();
+            generators::random_geometric_connected(n, r, 1..=100, &mut rng)
+        }
+        "torus" => {
+            let side = (n as f64).sqrt().ceil() as usize;
+            generators::torus(side.max(3), side.max(3), 1..=100, &mut rng)
+        }
+        "scale-free" => generators::preferential_attachment(n.max(5), 3, 1..=100, &mut rng),
+        "expander" => generators::random_regular_expander(n.max(4), 6, 1..=100, &mut rng),
+        other => return Err(format!("unknown family '{other}'")),
+    };
+    print!("{}", io::to_edge_list(&g));
+    Ok(())
+}
+
+fn cmd_info(args: &[String]) -> Result<(), String> {
+    let [path] = args else {
+        return Err("info <graph-file>".into());
+    };
+    let g = load_graph(path)?;
+    println!("vertices           : {}", g.num_vertices());
+    println!("edges              : {}", g.num_edges());
+    println!("connected          : {}", properties::is_connected(&g));
+    if let Some((dmin, dmax, dmean)) = properties::degree_stats(&g) {
+        println!("degrees            : {dmin}..{dmax} (mean {dmean:.2})");
+    }
+    if let Some(d) = properties::hop_diameter(&g) {
+        println!("hop diameter D     : {d}");
+    }
+    if let Some(s) = properties::shortest_path_diameter(&g) {
+        println!("SP diameter S      : {s}");
+    }
+    if let Some(l) = g.aspect_ratio() {
+        println!("aspect ratio       : {l:.1}");
+    }
+    Ok(())
+}
+
+fn cmd_build(args: &[String]) -> Result<(), String> {
+    let [graph_path, k, out_path] = args else {
+        return Err("build <graph-file> <k> <out-file>".into());
+    };
+    let g = load_graph(graph_path)?;
+    let k: usize = k.parse().map_err(|_| format!("bad k '{k}'"))?;
+    if k < 2 {
+        return Err("k must be at least 2".into());
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(0xD27);
+    let built = build(&g, &BuildParams::new(k), &mut rng);
+    let bytes = persist::encode_scheme(&built.scheme).map_err(|e| e.to_string())?;
+    std::fs::write(out_path, &bytes).map_err(|e| format!("writing {out_path}: {e}"))?;
+    let r = &built.report;
+    println!("built k = {k} scheme for n = {}:", g.num_vertices());
+    println!("  simulated rounds  : {}", r.rounds);
+    println!("  peak memory       : {} words/vertex", r.memory.max_peak());
+    println!("  max table / label : {} / {} words", r.max_table_words, r.max_label_words);
+    println!("  saved             : {} bytes -> {out_path}", bytes.len());
+    Ok(())
+}
+
+fn load_scheme(path: &str) -> Result<routing::RoutingScheme, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+    persist::decode_scheme(&bytes).map_err(|e| format!("decoding {path}: {e}"))
+}
+
+fn cmd_route(args: &[String], oracle_only: bool) -> Result<(), String> {
+    let [graph_path, scheme_path, src, dst] = args else {
+        return Err("route|query <graph-file> <scheme-file> <src> <dst>".into());
+    };
+    let g = load_graph(graph_path)?;
+    let scheme = load_scheme(scheme_path)?;
+    let s = parse_vertex(&g, src)?;
+    let t = parse_vertex(&g, dst)?;
+    let exact = shortest_paths::dijkstra(&g, s)[t.index()];
+    if oracle_only {
+        let est = DistanceOracle::new(&scheme).query(s, t);
+        println!("oracle estimate {s} -> {t}: {est} (exact {exact})");
+        return Ok(());
+    }
+    let trace = router::route(&g, &scheme, s, t).map_err(|e| e.to_string())?;
+    println!(
+        "routed {s} -> {t}: weight {} over {} hops via tree of {} (exact {}, stretch {:.3})",
+        trace.weight,
+        trace.hops(),
+        trace.tree_root,
+        exact,
+        trace.weight as f64 / exact.max(1) as f64
+    );
+    println!(
+        "path: {}",
+        trace
+            .path
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(" -> ")
+    );
+    Ok(())
+}
+
+fn cmd_stretch(args: &[String]) -> Result<(), String> {
+    let [graph_path, scheme_path, rest @ ..] = args else {
+        return Err("stretch <graph-file> <scheme-file> [num-sources]".into());
+    };
+    let g = load_graph(graph_path)?;
+    let scheme = load_scheme(scheme_path)?;
+    let sources: usize = rest
+        .first()
+        .map(|s| s.parse().map_err(|_| format!("bad source count '{s}'")))
+        .transpose()?
+        .unwrap_or(8);
+    let step = (g.num_vertices() / sources.max(1)).max(1);
+    let srcs: Vec<VertexId> = g.vertices().step_by(step).collect();
+    let stats =
+        router::measure_stretch(&g, &scheme, &srcs, router::Selection::SourceOptimal);
+    println!("stretch over {} pairs:", stats.pairs);
+    println!("  mean {:.4}  p50 {:.3}  p95 {:.3}  p99 {:.3}  max {:.3}", stats.mean, stats.p50, stats.p95, stats.p99, stats.max);
+    println!("  mean hops {:.1}", stats.mean_hops);
+    Ok(())
+}

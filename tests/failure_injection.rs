@@ -1,0 +1,197 @@
+//! Failure injection: corrupted or missing routing state must surface as
+//! typed errors, never as panics or silent misrouting.
+
+use graphs::{generators, tree, VertexId};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use routing::{build, router, BuildParams};
+use tree_routing::types::{RouteAction, TreeLabel};
+use tree_routing::{router as tree_router, tz, RouteError};
+
+fn tree_fixture() -> (graphs::RootedTree, tree_routing::TreeScheme) {
+    let mut rng = ChaCha8Rng::seed_from_u64(3001);
+    let g = generators::erdos_renyi_connected(50, 0.08, 1..=9, &mut rng);
+    let t = tree::shortest_path_tree(&g, VertexId(0));
+    let s = tz::build(&t);
+    (t, s)
+}
+
+#[test]
+fn tree_label_with_bogus_light_edge_errors() {
+    let (t, s) = tree_fixture();
+    // A label claiming a light edge to a vertex that is not a tree child.
+    let victim = VertexId(30);
+    let real = s.label(victim).unwrap().clone();
+    let forged = TreeLabel {
+        enter: real.enter,
+        light: vec![(VertexId(0), VertexId(0))], // self-edge nonsense
+    };
+    let mut s2 = s.clone();
+    s2.labels[victim.index()] = Some(forged);
+    // Routing toward the forged label either errors or still delivers via
+    // heavy edges (if the bogus edge is never consulted) — it must not panic
+    // or deliver to the wrong vertex.
+    match tree_router::route(&t, &s2, VertexId(7), victim) {
+        Ok(trace) => assert_eq!(*trace.path.last().unwrap(), victim),
+        Err(
+            RouteError::BadForward { .. } | RouteError::Stuck(_) | RouteError::Loop,
+        ) => {}
+        Err(e) => panic!("unexpected error kind: {e}"),
+    }
+}
+
+#[test]
+fn tree_label_with_foreign_enter_time_errors() {
+    let (t, s) = tree_fixture();
+    let mut s2 = s.clone();
+    // Entry time far outside the DFS range of the tree.
+    s2.labels[20] = Some(TreeLabel {
+        enter: 10_000,
+        light: vec![],
+    });
+    match tree_router::route(&t, &s2, VertexId(5), VertexId(20)) {
+        Err(RouteError::Stuck(_)) => {}
+        other => panic!("expected Stuck at the root, got {other:?}"),
+    }
+}
+
+#[test]
+fn tree_table_with_wrong_heavy_child_cannot_misdeliver() {
+    let (t, s) = tree_fixture();
+    let mut s2 = s.clone();
+    // Corrupt an internal vertex's heavy pointer to a non-child.
+    let internal = t
+        .vertices()
+        .find(|&v| !t.children(v).is_empty() && t.parent(v).is_some())
+        .unwrap();
+    let mut table = s2.tables[internal.index()].clone().unwrap();
+    table.heavy = Some(t.root());
+    s2.tables[internal.index()] = Some(table);
+    for target in t.vertices().take(10) {
+        match tree_router::route(&t, &s2, t.root(), target) {
+            Ok(trace) => assert_eq!(*trace.path.last().unwrap(), target),
+            Err(
+                RouteError::BadForward { .. } | RouteError::Loop | RouteError::Stuck(_),
+            ) => {}
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+}
+
+#[test]
+fn graph_scheme_with_deleted_table_entry_gets_stuck_not_lost() {
+    let mut rng = ChaCha8Rng::seed_from_u64(3002);
+    let g = generators::erdos_renyi_connected(60, 0.08, 1..=9, &mut rng);
+    let built = build(&g, &BuildParams::new(2), &mut rng);
+    let mut scheme = built.scheme.clone();
+    // Find a working route, then delete an intermediate vertex's entry for
+    // the committed tree.
+    let trace = router::route(&g, &scheme, VertexId(0), VertexId(55)).unwrap();
+    if trace.hops() >= 2 {
+        let mid = trace.path[1];
+        scheme.tables[mid.index()]
+            .entries
+            .retain(|e| e.root != trace.tree_root);
+        match router::route_with(
+            &g,
+            &scheme,
+            VertexId(0),
+            VertexId(55),
+            router::Selection::FirstValid,
+        ) {
+            // Either the source picked the broken tree and gets stuck at the
+            // gap, or first-valid picked another tree and still delivers.
+            Ok(t2) => assert_eq!(*t2.path.last().unwrap(), VertexId(55)),
+            Err(router::GraphRouteError::Stuck(v)) => assert_eq!(v, mid),
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+}
+
+#[test]
+fn graph_scheme_with_empty_label_reports_no_common_tree() {
+    let mut rng = ChaCha8Rng::seed_from_u64(3003);
+    let g = generators::erdos_renyi_connected(40, 0.1, 1..=9, &mut rng);
+    let built = build(&g, &BuildParams::new(2), &mut rng);
+    let mut scheme = built.scheme.clone();
+    scheme.labels[25].entries.clear();
+    match router::route(&g, &scheme, VertexId(0), VertexId(25)) {
+        Err(router::GraphRouteError::NoCommonTree) => {}
+        other => panic!("expected NoCommonTree, got {other:?}"),
+    }
+}
+
+#[test]
+fn forged_forwarding_to_non_neighbor_is_caught() {
+    // A malicious table whose heavy child is not even a graph neighbor: the
+    // router validates each hop against the graph.
+    let (t, s) = tree_fixture();
+    let mut s2 = s.clone();
+    let leafy = t
+        .vertices()
+        .find(|&v| t.children(v).is_empty())
+        .unwrap();
+    let mut table = s2.tables[leafy.index()].clone().unwrap();
+    table.parent = Some(leafy); // self-parent: never a valid hop
+    s2.tables[leafy.index()] = Some(table);
+    // Route from the corrupted leaf to somewhere above it.
+    match tree_router::route(&t, &s2, leafy, t.root()) {
+        Ok(trace) => assert_eq!(*trace.path.last().unwrap(), t.root()),
+        Err(RouteError::BadForward { from, .. }) => assert_eq!(from, leafy),
+        Err(e) => panic!("unexpected error: {e}"),
+    }
+}
+
+#[test]
+fn decode_rejects_random_bytes() {
+    let mut rng = ChaCha8Rng::seed_from_u64(3004);
+    use rand::Rng;
+    let mut rejected = 0;
+    for _ in 0..100 {
+        let len = rng.gen_range(0..20);
+        let bytes: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+        // Must never panic; often rejects.
+        if tree_routing::encode::decode_table(&bytes).is_none() {
+            rejected += 1;
+        }
+        let _ = tree_routing::encode::decode_label(&bytes);
+    }
+    assert!(rejected > 0);
+}
+
+#[test]
+fn route_step_never_panics_on_arbitrary_inputs() {
+    // Exhaustive small-space sweep of the forwarding rule.
+    for enter in 0..6u64 {
+        for exit in 0..6u64 {
+            for target in 0..6u64 {
+                let table = tree_routing::TreeTable {
+                    enter,
+                    exit,
+                    parent: (enter % 2 == 0).then_some(VertexId(1)),
+                    heavy: (exit % 2 == 0).then_some(VertexId(2)),
+                };
+                let label = TreeLabel {
+                    enter: target,
+                    light: vec![(VertexId(0), VertexId(3))],
+                };
+                let _ = tree_routing::types::route_step(VertexId(0), &table, &label);
+            }
+        }
+    }
+    // And the action type is inspectable.
+    let t = tree_routing::TreeTable {
+        enter: 1,
+        exit: 1,
+        parent: None,
+        heavy: None,
+    };
+    let l = TreeLabel {
+        enter: 1,
+        light: vec![],
+    };
+    assert_eq!(
+        tree_routing::types::route_step(VertexId(0), &t, &l),
+        Some(RouteAction::Deliver)
+    );
+}

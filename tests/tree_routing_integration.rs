@@ -1,0 +1,159 @@
+//! Cross-crate integration for the tree-routing results (Theorem 2):
+//! distributed ≡ centralized on trees embedded in every topology family,
+//! exactness of both our scheme and the baseline, and the Table-2 orderings.
+
+use congest::Network;
+use graphs::{generators, tree, Graph, VertexId};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use tree_routing::{baseline, distributed, multi, router, tz};
+
+fn check_tree(g: Graph, root: u32, seed: u64) {
+    let t = tree::shortest_path_tree(&g, VertexId(root));
+    let net = Network::new(g);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let ours = distributed::build_default(&net, &t, &mut rng);
+    distributed::assert_matches_centralized(&t, &ours);
+    let prior = baseline::build(&net, &t, None, &mut rng);
+    // Exactness of both on sampled pairs.
+    let verts: Vec<VertexId> = t.vertices().collect();
+    for (i, &u) in verts.iter().enumerate().step_by(5) {
+        for &v in verts.iter().skip(i % 3).step_by(7) {
+            let want = t.tree_distance(u, v).unwrap();
+            let a = router::route(&t, &ours.scheme, u, v).unwrap();
+            let b = baseline::route(&t, &prior.scheme, u, v).unwrap();
+            assert_eq!(a.weight, want, "ours {u}->{v}");
+            assert_eq!(b.weight, want, "prior {u}->{v}");
+        }
+    }
+    // Table-2 orderings.
+    assert_eq!(ours.scheme.max_table_words(), 4, "tables are O(1)");
+    assert!(ours.scheme.max_label_words() <= prior.scheme.max_label_words().max(4));
+    assert!(ours.memory.max_peak() <= prior.memory.max_peak());
+}
+
+#[test]
+fn tree_on_erdos_renyi() {
+    let mut rng = ChaCha8Rng::seed_from_u64(2001);
+    let g = generators::erdos_renyi_connected(300, 0.02, 1..=20, &mut rng);
+    check_tree(g, 0, 1);
+}
+
+#[test]
+fn tree_on_geometric() {
+    let mut rng = ChaCha8Rng::seed_from_u64(2002);
+    let g = generators::random_geometric_connected(250, 0.09, 1..=20, &mut rng);
+    check_tree(g, 5, 2);
+}
+
+#[test]
+fn tree_on_grid() {
+    let mut rng = ChaCha8Rng::seed_from_u64(2003);
+    let g = generators::grid(15, 16, 1..=5, &mut rng);
+    check_tree(g, 7, 3);
+}
+
+#[test]
+fn tree_on_path_deep() {
+    // Depth-n tree: the regime where q-sampling matters most.
+    let mut rng = ChaCha8Rng::seed_from_u64(2004);
+    let g = generators::path(200, 1..=9, &mut rng);
+    check_tree(g, 0, 4);
+}
+
+#[test]
+fn tree_on_star_shallow() {
+    let mut rng = ChaCha8Rng::seed_from_u64(2005);
+    let g = generators::star(150, 1..=9, &mut rng);
+    check_tree(g, 0, 5);
+}
+
+#[test]
+fn tree_on_lollipop() {
+    let mut rng = ChaCha8Rng::seed_from_u64(2006);
+    let g = generators::lollipop(30, 100, 1..=9, &mut rng);
+    check_tree(g, 2, 6);
+}
+
+#[test]
+fn spd_gap_network_tree() {
+    // Small hop diameter, large shortest-path diameter: the case where the
+    // D-dependence (not S-dependence) of the paper's bound matters.
+    let mut rng = ChaCha8Rng::seed_from_u64(2007);
+    let g = generators::small_hop_diameter_large_spd(180, 60, &mut rng);
+    check_tree(g, 0, 7);
+}
+
+#[test]
+fn partial_tree_inside_network() {
+    // A tree spanning only half the network: non-members have no entries,
+    // members route exactly.
+    let mut rng = ChaCha8Rng::seed_from_u64(2008);
+    let g = generators::erdos_renyi_connected(120, 0.05, 1..=9, &mut rng);
+    let full = tree::shortest_path_tree(&g, VertexId(0));
+    // Take the subtree induced by vertices within depth 3 of the root.
+    let mut parent = vec![None; 120];
+    let mut weight = vec![0; 120];
+    for v in full.vertices() {
+        if v != VertexId(0) && full.depth_of(v).unwrap() <= 3 {
+            parent[v.index()] = full.parent(v);
+            weight[v.index()] = full.parent_weight(v);
+        }
+    }
+    let t = graphs::RootedTree::from_parents(VertexId(0), parent, weight);
+    let net = Network::new(g);
+    let mut rng2 = ChaCha8Rng::seed_from_u64(8);
+    let ours = distributed::build_default(&net, &t, &mut rng2);
+    distributed::assert_matches_centralized(&t, &ours);
+    router::verify_exactness(&t, &ours.scheme);
+}
+
+#[test]
+fn multi_tree_memory_and_rounds_beat_sequential() {
+    let mut rng = ChaCha8Rng::seed_from_u64(2009);
+    let g = generators::erdos_renyi_connected(220, 0.03, 1..=9, &mut rng);
+    let net = Network::new(g);
+    let roots = [0u32, 40, 80, 120, 160, 200];
+    let trees: Vec<_> = roots
+        .iter()
+        .map(|&r| tree::shortest_path_tree(net.graph(), VertexId(r)))
+        .collect();
+    let par = multi::build_many(&net, &trees, roots.len(), &mut rng);
+    assert_eq!(par.observed_overlap, roots.len());
+    // Every scheme matches the centralized construction.
+    for (t, s) in trees.iter().zip(&par.schemes) {
+        let want = tz::build(t);
+        for v in t.vertices().step_by(3) {
+            assert_eq!(s.table(v), want.table(v));
+        }
+    }
+    let mut seq = 0u64;
+    for t in &trees {
+        seq += distributed::build_default(&net, t, &mut rng).ledger.rounds();
+    }
+    assert!(par.ledger.rounds() < seq);
+}
+
+#[test]
+fn weighted_trees_route_by_weight_not_hops() {
+    // A heavy chord in the network must not confuse tree routing: the tree
+    // path is followed exactly even when a shorter graph path exists.
+    let mut rng = ChaCha8Rng::seed_from_u64(2010);
+    let g = generators::small_hop_diameter_large_spd(100, 25, &mut rng);
+    let t = tree::shortest_path_tree(&g, VertexId(0));
+    let net = Network::new(g);
+    let ours = distributed::build_default(&net, &t, &mut rng);
+    for v in [VertexId(50), VertexId(99), VertexId(25)] {
+        let trace = router::route(&t, &ours.scheme, v, VertexId(0)).unwrap();
+        assert_eq!(Some(trace.weight), t.tree_distance(v, VertexId(0)));
+        // Every hop is a tree edge.
+        for pair in trace.path.windows(2) {
+            assert!(
+                t.parent(pair[0]) == Some(pair[1]) || t.parent(pair[1]) == Some(pair[0]),
+                "hop {}-{} is not a tree edge",
+                pair[0],
+                pair[1]
+            );
+        }
+    }
+}
