@@ -13,26 +13,36 @@
 //!    convergence with and without the hopset.
 //!
 //! Run with: `cargo run --release -p bench --bin ablations`
+//!
+//! `--report <path>` (or `DRT_REPORT`) writes a JSONL run report with one
+//! `ablations/<name>/n<n>` span per observed build (ablation 3 is pure
+//! arithmetic and records nothing).
 
 use bench::{print_header, print_row, Family};
 use congest::{CostLedger, MemoryMeter, Network};
 use graphs::{tree, VertexId};
 use hopset::bellman_ford::LimitedBf;
-use hopset::construction::{build as build_hopset, HopsetParams};
+use hopset::construction::{build_observed as build_hopset_observed, HopsetParams};
 use hopset::{Hopset, VirtualGraph};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use tree_routing::distributed;
 
 fn main() {
-    ablation_pointer_jumping();
-    ablation_materialization();
+    let (opts, _rest) = obs::cli::ReportOptions::from_env();
+    let mut rec = obs::Recorder::when(opts.reporting());
+    ablation_pointer_jumping(&mut rec);
+    ablation_materialization(&mut rec);
     ablation_range_partition();
-    ablation_hopset_bf();
-    ablation_hopset_families();
+    ablation_hopset_bf(&mut rec);
+    ablation_hopset_families(&mut rec);
+    if let Some(path) = &opts.report {
+        rec.write_report(path, "ablations", &[])
+            .unwrap_or_else(|e| eprintln!("failed to write report {}: {e}", path.display()));
+    }
 }
 
-fn ablation_pointer_jumping() {
+fn ablation_pointer_jumping(rec: &mut obs::Recorder) {
     println!("== Ablation 1: pointer jumping vs naive virtual-tree walk ==");
     println!("(path networks: the deep-tree, large-D worst case the paper targets)");
     let widths = [8, 8, 8, 8, 14, 16];
@@ -45,7 +55,10 @@ fn ablation_pointer_jumping() {
         let g = graphs::generators::path(n, 1..=9, &mut rng);
         let t = tree::shortest_path_tree(&g, VertexId(0));
         let net = Network::new(g);
-        let out = distributed::build_default(&net, &t, &mut rng);
+        let span = rec.begin(&format!("ablations/pointer-jumping/n{n}"));
+        let out =
+            distributed::build_observed(&net, &t, &distributed::Config::default(), &mut rng, rec);
+        rec.end_with_memory(span, out.memory.peaks());
         let d = out.bfs_depth as u64;
         let iters = (n as f64).log2().ceil() as u64;
         // The three global stages under pointer jumping: log n broadcast
@@ -70,7 +83,7 @@ fn ablation_pointer_jumping() {
     println!(" D ≈ n the naive walk costs ~n^1.5 versus pointer jumping's ~n log n)\n");
 }
 
-fn ablation_materialization() {
+fn ablation_materialization(rec: &mut obs::Recorder) {
     println!("== Ablation 2: on-the-fly E' vs materialized G' (per-vertex words) ==");
     let widths = [8, 8, 18, 18];
     print_header(&["n", "|V'|", "ours (peak)", "materialized E'"], &widths);
@@ -94,7 +107,8 @@ fn ablation_materialization() {
         // out-edges plus O(levels) scratch.
         let mut led = CostLedger::new();
         let mut mem = MemoryMeter::new(n);
-        let _ = build_hopset(
+        let span = rec.begin(&format!("ablations/materialization/n{n}"));
+        let _ = build_hopset_observed(
             &g,
             &virt,
             HopsetParams::default(),
@@ -102,7 +116,9 @@ fn ablation_materialization() {
             &mut led,
             &mut mem,
             &mut rng,
+            rec,
         );
+        rec.end_with_memory(span, mem.peaks());
         print_row(
             &[
                 n.to_string(),
@@ -119,18 +135,17 @@ fn ablation_materialization() {
 fn ablation_range_partition() {
     println!("== Ablation 3: Algorithm 5 vs degree-proportional range splitting ==");
     let widths = [8, 12, 18, 20];
-    print_header(&["n", "max degree", "Alg.5 extra words", "naive extra words"], &widths);
+    print_header(
+        &["n", "max degree", "Alg.5 extra words", "naive extra words"],
+        &widths,
+    );
     for n in [512usize, 2048, 8192] {
         let mut rng = ChaCha8Rng::seed_from_u64(0x93 + n as u64);
         let g = Family::ScaleFree.generate(n, &mut rng);
         let t = tree::shortest_path_tree(&g, VertexId(0));
         // Naive: each internal vertex stores all children's subtree sizes to
         // split its DFS range — max tree-degree words at the worst vertex.
-        let naive = t
-            .vertices()
-            .map(|v| t.children(v).len())
-            .max()
-            .unwrap_or(0);
+        let naive = t.vertices().map(|v| t.children(v).len()).max().unwrap_or(0);
         print_row(
             &[
                 n.to_string(),
@@ -145,7 +160,7 @@ fn ablation_range_partition() {
     println!(" 2·log n rounds; the naive scheme pins tree-degree words at hub vertices)\n");
 }
 
-fn ablation_hopset_bf() {
+fn ablation_hopset_bf(rec: &mut obs::Recorder) {
     println!("== Ablation 4: Bellman-Ford iterations with vs without the hopset ==");
     println!("(path networks with B = 2√n: long virtual chains, the case hopsets exist for)");
     let widths = [8, 8, 12, 14];
@@ -158,12 +173,16 @@ fn ablation_hopset_bf() {
         // 4√n·ln n default so E' only links nearby virtual vertices and
         // plain E'-steps need ~n/B iterations.
         let spacing = ((n as f64).sqrt() as usize / 2).max(1);
-        let verts: Vec<VertexId> = (0..n).step_by(spacing).map(|i| VertexId(i as u32)).collect();
+        let verts: Vec<VertexId> = (0..n)
+            .step_by(spacing)
+            .map(|i| VertexId(i as u32))
+            .collect();
         let b = 2 * (n as f64).sqrt() as usize;
         let virt = VirtualGraph::from_set(&g, verts, b);
         let mut led = CostLedger::new();
         let mut mem = MemoryMeter::new(n);
-        let hs = build_hopset(
+        let span = rec.begin(&format!("ablations/hopset-bf/n{n}"));
+        let hs = build_hopset_observed(
             &g,
             &virt,
             HopsetParams::default(),
@@ -171,7 +190,9 @@ fn ablation_hopset_bf() {
             &mut led,
             &mut mem,
             &mut rng,
+            rec,
         );
+        rec.end_with_memory(span, mem.peaks());
         let empty = Hopset::new(n);
         let root = virt.virtual_vertices()[0];
         let run = |h: &Hopset| {
@@ -199,11 +220,13 @@ fn ablation_hopset_bf() {
     println!(" whole point of the hopset)\n");
 }
 
-fn ablation_hopset_families() {
+fn ablation_hopset_families(rec: &mut obs::Recorder) {
     println!("== Ablation 5: bunch hopset vs superclustering-and-interconnection ==");
     let widths = [8, 8, 10, 10, 8, 8, 8];
     print_header(
-        &["n", "|V'|", "edges-b", "edges-sc", "arb-b", "arb-sc", "beta"],
+        &[
+            "n", "|V'|", "edges-b", "edges-sc", "arb-b", "arb-sc", "beta",
+        ],
         &widths,
     );
     for n in [512usize, 2048] {
@@ -215,7 +238,8 @@ fn ablation_hopset_families() {
         }
         let mut led = CostLedger::new();
         let mut mem = MemoryMeter::new(n);
-        let bunch = build_hopset(
+        let span = rec.begin(&format!("ablations/hopset-families/n{n}/bunch"));
+        let bunch = build_hopset_observed(
             &g,
             &virt,
             HopsetParams::default(),
@@ -223,7 +247,11 @@ fn ablation_hopset_families() {
             &mut led,
             &mut mem,
             &mut rng,
+            rec,
         );
+        rec.end_with_memory(span, mem.peaks());
+        let span = rec.begin(&format!("ablations/hopset-families/n{n}/sc"));
+        let sc_entry = led.counters();
         let sc = hopset::superclustering::build_sc(
             &g,
             &virt,
@@ -234,6 +262,8 @@ fn ablation_hopset_families() {
             &mut mem,
             &mut rng,
         );
+        rec.charge(&led.counters().delta_since(&sc_entry));
+        rec.end_with_memory(span, mem.peaks());
         let root = virt.virtual_vertices()[0];
         let beta = |h: &Hopset| {
             let mut led = CostLedger::new();

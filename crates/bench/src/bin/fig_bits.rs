@@ -11,6 +11,11 @@
 //!    `Ω(log Λ)` factors of prior constructions.
 //!
 //! Run with: `cargo run --release -p bench --bin fig_bits`
+//!
+//! `--report <path>` (or `DRT_REPORT`) writes a JSONL run report with one
+//! `fig_bits/encode/n<n>` span per size; the builds here are centralized
+//! (no simulated rounds), so the spans carry the per-vertex encoded-table
+//! word distribution in their `memory` field and zero cost deltas.
 
 use bench::{print_header, print_row, Family};
 use congest::WordSized;
@@ -22,21 +27,31 @@ use tree_routing::encode::{encode_label, encode_table};
 use tree_routing::tz;
 
 fn main() {
+    let (opts, _rest) = obs::cli::ReportOptions::from_env();
+    let mut rec = obs::Recorder::when(opts.reporting());
     println!("== Fig S4a: tree label/table sizes — words vs encoded bits ==");
     let widths = [8, 12, 12, 12, 12];
     print_header(
-        &["n", "label words", "label bits", "table words", "table bits"],
+        &[
+            "n",
+            "label words",
+            "label bits",
+            "table words",
+            "table bits",
+        ],
         &widths,
     );
     for n in [256usize, 1024, 4096, 16384] {
         let mut rng = ChaCha8Rng::seed_from_u64(0xB1 + n as u64);
         let g = Family::ErdosRenyi.generate(n, &mut rng);
         let t = tree::shortest_path_tree(&g, VertexId(0));
+        let span = rec.begin(&format!("fig_bits/encode/n{n}"));
         let scheme = tz::build(&t);
         let mut max_label_words = 0;
         let mut max_label_bits = 0;
         let mut max_table_words = 0;
         let mut max_table_bits = 0;
+        let mut per_vertex_words = Vec::with_capacity(n);
         for v in t.vertices() {
             let l = scheme.label(v).unwrap();
             let tb = scheme.table(v).unwrap();
@@ -44,7 +59,9 @@ fn main() {
             max_label_bits = max_label_bits.max(8 * encode_label(l).len());
             max_table_words = max_table_words.max(tb.words());
             max_table_bits = max_table_bits.max(8 * encode_table(tb).len());
+            per_vertex_words.push(l.words() + tb.words());
         }
+        rec.end_with_memory(span, &per_vertex_words);
         print_row(
             &[
                 n.to_string(),
@@ -61,7 +78,13 @@ fn main() {
     println!("== Fig S4b: standard-CONGEST overhead — rounding vs prior log Λ ==");
     let widths = [12, 10, 12, 14, 12];
     print_header(
-        &["max weight", "log2(Λ)", "weight bits", "our overhead", "prior"],
+        &[
+            "max weight",
+            "log2(Λ)",
+            "weight bits",
+            "our overhead",
+            "prior",
+        ],
         &widths,
     );
     let n = 1024;
@@ -82,4 +105,8 @@ fn main() {
     }
     println!("(our overhead column stays at 1.0 — one O(log n)-bit message per rounded");
     println!(" weight — while the prior column grows with log Λ)");
+    if let Some(path) = &opts.report {
+        rec.write_report(path, "fig_bits", &[])
+            .unwrap_or_else(|e| eprintln!("failed to write report {}: {e}", path.display()));
+    }
 }

@@ -2,30 +2,46 @@
 //!
 //! The tables measure the *preprocessing* phase; this figure exercises the
 //! *routing* phase as real store-and-forward traffic: `P` packets injected
-//! simultaneously, one packet per edge per round. Delivery time = hop count
-//! + queueing delay; as the offered load grows, the delay distribution
+//! simultaneously, one packet per edge per round. Delivery time = hop count +
+//! queueing delay; as the offered load grows, the delay distribution
 //! spreads while every packet still arrives (the scheme's trees are loop
 //! free, so traffic always drains).
 //!
 //! Run with: `cargo run --release -p bench --bin fig_load`
+//!
+//! `--report <path>` (or `DRT_REPORT`) writes a JSONL run report: a
+//! `fig_load/build` span for the preprocessing phase and one
+//! `fig_load/p<packets>` span per load level, charged with the routing
+//! phase's engine-measured rounds/messages/words.
 
 use bench::{print_header, print_row, Family};
 use congest::Network;
 use graphs::VertexId;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use routing::{build, packet, BuildParams};
+use routing::{build_observed, packet, BuildParams};
 
 fn main() {
+    let (opts, _rest) = obs::cli::ReportOptions::from_env();
+    let mut rec = obs::Recorder::when(opts.reporting());
     let n = 400;
     let mut rng = ChaCha8Rng::seed_from_u64(0xC1);
     let g = Family::ErdosRenyi.generate(n, &mut rng);
-    let built = build(&g, &BuildParams::new(3), &mut rng);
+    let span = rec.begin("fig_load/build");
+    let built = build_observed(&g, &BuildParams::new(3), &mut rng, &mut rec);
+    rec.end_with_memory(span, built.report.memory.peaks());
     let net = Network::new(g);
     println!("== Fig S5: batched routing under load (n = {n}, k = 3) ==\n");
     let widths = [10, 10, 10, 12, 12, 10];
     print_header(
-        &["packets", "delivered", "dropped", "mean delay", "max delay", "rounds"],
+        &[
+            "packets",
+            "delivered",
+            "dropped",
+            "mean delay",
+            "max delay",
+            "rounds",
+        ],
         &widths,
     );
     for load in [16usize, 64, 256, 1024, 4096] {
@@ -39,8 +55,21 @@ fn main() {
                 (VertexId(a), VertexId(b))
             })
             .collect();
+        let span = rec.begin(&format!("fig_load/p{load}"));
         let report = packet::send_many(&net, &built.scheme, &pairs);
-        let delays: Vec<u64> = report.deliveries.iter().flatten().map(|&(r, _)| r).collect();
+        rec.charge(&obs::Counters {
+            rounds: report.stats.rounds,
+            messages: report.stats.messages,
+            words: report.stats.words,
+            broadcasts: 0,
+        });
+        rec.end_with_memory(span, report.stats.memory.peaks());
+        let delays: Vec<u64> = report
+            .deliveries
+            .iter()
+            .flatten()
+            .map(|&(r, _)| r)
+            .collect();
         let delivered = delays.len();
         let mean = delays.iter().sum::<u64>() as f64 / delivered.max(1) as f64;
         let max = delays.iter().max().copied().unwrap_or(0);
@@ -58,4 +87,8 @@ fn main() {
     }
     println!("\n(delays are rounds from injection to delivery; all packets drain because");
     println!(" per-tree forwarding is loop-free — growth in max delay is pure queueing)");
+    if let Some(path) = &opts.report {
+        rec.write_report(path, "fig_load", &[])
+            .unwrap_or_else(|e| eprintln!("failed to write report {}: {e}", path.display()));
+    }
 }

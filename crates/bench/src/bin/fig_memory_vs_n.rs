@@ -4,16 +4,23 @@
 //! stays `Ω̃(√n)`.
 //!
 //! Run with: `cargo run --release -p bench --bin fig_memory_vs_n`
+//!
+//! `--report <path>` (or `DRT_REPORT`) writes a JSONL run report with one
+//! span per our-scheme build (`fig_memory_vs_n/tree/n<n>`,
+//! `fig_memory_vs_n/scheme/n<n>`); each span's `memory` field carries the
+//! per-vertex peak distribution the figure summarizes.
 
 use bench::{log_log_slope, print_header, print_row, Family};
 use congest::Network;
 use graphs::{tree, VertexId};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use routing::{build, BuildParams, Mode};
+use routing::{build, build_observed, BuildParams, Mode};
 use tree_routing::{baseline, distributed};
 
 fn main() {
+    let (opts, _rest) = obs::cli::ReportOptions::from_env();
+    let mut rec = obs::Recorder::when(opts.reporting());
     let widths = [8, 12, 12, 8];
 
     println!("== Fig S2a: tree-routing memory vs n (Theorem 2) ==");
@@ -25,7 +32,15 @@ fn main() {
         let g = Family::ErdosRenyi.generate(n, &mut rng);
         let t = tree::shortest_path_tree(&g, VertexId(0));
         let net = Network::new(g);
-        let ours = distributed::build_default(&net, &t, &mut rng);
+        let span = rec.begin(&format!("fig_memory_vs_n/tree/n{n}"));
+        let ours = distributed::build_observed(
+            &net,
+            &t,
+            &distributed::Config::default(),
+            &mut rng,
+            &mut rec,
+        );
+        rec.end_with_memory(span, ours.memory.peaks());
         let prior = baseline::build(&net, &t, None, &mut rng);
         let (a, b) = (ours.memory.max_peak(), prior.memory.max_peak());
         print_row(
@@ -55,7 +70,9 @@ fn main() {
         let g = Family::ErdosRenyi.generate(n, &mut rng);
         let mut rng1 = ChaCha8Rng::seed_from_u64(1);
         let mut rng2 = ChaCha8Rng::seed_from_u64(1);
-        let ours = build(&g, &BuildParams::new(2), &mut rng1);
+        let span = rec.begin(&format!("fig_memory_vs_n/scheme/n{n}"));
+        let ours = build_observed(&g, &BuildParams::new(2), &mut rng1, &mut rec);
+        rec.end_with_memory(span, ours.report.memory.peaks());
         let prior = build(
             &g,
             &BuildParams::new(2).with_mode(Mode::DistributedPrior),
@@ -84,4 +101,8 @@ fn main() {
     );
     println!("note: at k=2 both exponents are ≈ 0.5 — the separation at fixed k=2 is the");
     println!("constant-factor E'/T' materialization; the asymptotic gap opens with k (see fig_memory_vs_k).");
+    if let Some(path) = &opts.report {
+        rec.write_report(path, "fig_memory_vs_n", &[])
+            .unwrap_or_else(|e| eprintln!("failed to write report {}: {e}", path.display()));
+    }
 }

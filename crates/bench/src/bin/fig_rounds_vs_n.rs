@@ -7,16 +7,22 @@
 //! `0.5 + 1/k` (graph) once polylog factors are absorbed.
 //!
 //! Run with: `cargo run --release -p bench --bin fig_rounds_vs_n`
+//!
+//! `--report <path>` (or `DRT_REPORT`) writes a JSONL run report with one
+//! span per build (`fig_rounds_vs_n/tree/n<n>`, `fig_rounds_vs_n/scheme/n<n>`),
+//! the construction's stage spans nested beneath each.
 
 use bench::{log_log_slope, print_header, print_row, Family};
 use congest::Network;
 use graphs::{tree, VertexId};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use routing::{build, BuildParams};
+use routing::{build_observed, BuildParams};
 use tree_routing::distributed;
 
 fn main() {
+    let (opts, _rest) = obs::cli::ReportOptions::from_env();
+    let mut rec = obs::Recorder::when(opts.reporting());
     let widths = [8, 10, 12];
 
     println!("== Fig S1a: tree-routing construction rounds vs n (Theorem 2) ==");
@@ -27,7 +33,15 @@ fn main() {
         let g = Family::ErdosRenyi.generate(n, &mut rng);
         let t = tree::shortest_path_tree(&g, VertexId(0));
         let net = Network::new(g);
-        let out = distributed::build_default(&net, &t, &mut rng);
+        let span = rec.begin(&format!("fig_rounds_vs_n/tree/n{n}"));
+        let out = distributed::build_observed(
+            &net,
+            &t,
+            &distributed::Config::default(),
+            &mut rng,
+            &mut rec,
+        );
+        rec.end_with_memory(span, out.memory.peaks());
         print_row(
             &[
                 n.to_string(),
@@ -49,7 +63,9 @@ fn main() {
     for n in [128usize, 256, 512, 1024] {
         let mut rng = ChaCha8Rng::seed_from_u64(0x52 + n as u64);
         let g = Family::ErdosRenyi.generate(n, &mut rng);
-        let built = build(&g, &BuildParams::new(2), &mut rng);
+        let span = rec.begin(&format!("fig_rounds_vs_n/scheme/n{n}"));
+        let built = build_observed(&g, &BuildParams::new(2), &mut rng, &mut rec);
+        rec.end_with_memory(span, built.report.memory.peaks());
         print_row(
             &[
                 n.to_string(),
@@ -64,4 +80,8 @@ fn main() {
         "empirical exponent: {:.3}  ((n^(1/2+1/k)+D)·polylog predicts ≈ 1.0 for k=2 plus log slack)",
         log_log_slope(&pts)
     );
+    if let Some(path) = &opts.report {
+        rec.write_report(path, "fig_rounds_vs_n", &[])
+            .unwrap_or_else(|e| eprintln!("failed to write report {}: {e}", path.display()));
+    }
 }

@@ -6,40 +6,49 @@
 //! tradeoff the whole line of work is about.
 //!
 //! Run with: `cargo run --release -p bench --bin fig_stretch_vs_k`
+//!
+//! `--report <path>` (or `DRT_REPORT`) writes a JSONL run report with one
+//! `fig_stretch_vs_k/<family>/k<k>` span per build.
 
 use bench::{print_header, print_row, Family};
 use graphs::VertexId;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use routing::{build, router, BuildParams};
+use routing::{build_observed, router, BuildParams};
 
 fn main() {
+    let (opts, _rest) = obs::cli::ReportOptions::from_env();
+    let mut rec = obs::Recorder::when(opts.reporting());
     let n = 512;
     let widths = [4, 10, 10, 8, 8, 9, 11, 10, 10];
     println!("== Fig S3: stretch vs k (n = {n}, this paper's scheme) ==\n");
     for family in [Family::ErdosRenyi, Family::Geometric] {
         println!("--- family: {} ---", family.name());
         print_header(
-            &["k", "max", "mean", "p95", "p99", "4k-3", "handshake", "table", "label"],
+            &[
+                "k",
+                "max",
+                "mean",
+                "p95",
+                "p99",
+                "4k-3",
+                "handshake",
+                "table",
+                "label",
+            ],
             &widths,
         );
         for k in [2usize, 3, 4, 5] {
             let mut rng = ChaCha8Rng::seed_from_u64(0x71 + k as u64);
             let g = family.generate(n, &mut rng);
-            let built = build(&g, &BuildParams::new(k), &mut rng);
+            let span = rec.begin(&format!("fig_stretch_vs_k/{}/k{k}", family.name()));
+            let built = build_observed(&g, &BuildParams::new(k), &mut rng, &mut rec);
+            rec.end_with_memory(span, built.report.memory.peaks());
             let srcs: Vec<VertexId> = (0..n as u32).step_by(32).map(VertexId).collect();
-            let stats = router::measure_stretch(
-                &g,
-                &built.scheme,
-                &srcs,
-                router::Selection::SourceOptimal,
-            );
-            let shake = router::measure_stretch(
-                &g,
-                &built.scheme,
-                &srcs,
-                router::Selection::Handshake,
-            );
+            let stats =
+                router::measure_stretch(&g, &built.scheme, &srcs, router::Selection::SourceOptimal);
+            let shake =
+                router::measure_stretch(&g, &built.scheme, &srcs, router::Selection::Handshake);
             print_row(
                 &[
                     k.to_string(),
@@ -60,4 +69,8 @@ fn main() {
     println!("expected shape: max stretch stays below the implemented guarantee 4k-3");
     println!("everywhere (and below 4k-5 for k >= 3), mean stretch far below; table");
     println!("size falls with k while labels grow mildly (O(k log n)).");
+    if let Some(path) = &opts.report {
+        rec.write_report(path, "fig_stretch_vs_k", &[])
+            .unwrap_or_else(|e| eprintln!("failed to write report {}: {e}", path.display()));
+    }
 }

@@ -4,25 +4,39 @@
 //! distributed construction, and this paper's low-memory construction.
 //!
 //! Run with: `cargo run --release -p bench --bin table1`
+//!
+//! Flags: `--json` prints the rows as a JSON array instead of aligned text;
+//! `--report <path>` (or `DRT_REPORT`) writes a JSONL run report with one
+//! `table1/<family>/n<n>/k<k>/<scheme>` span per scheme build, the
+//! construction's phase spans nested beneath it.
 
 use bench::{print_header, print_row, Family};
 use graphs::{properties, VertexId};
+use obs::json::Value;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use routing::{build, router, BuildParams, Mode};
+use routing::{build_observed, router, BuildParams, Mode};
 
 fn main() {
+    let (opts, _rest) = obs::cli::ReportOptions::from_env();
+    let mut rec = obs::Recorder::when(opts.reporting());
+    let mut json_rows: Vec<Value> = Vec::new();
+
     let configs: &[(usize, usize)] = &[(256, 2), (512, 2), (1024, 2), (256, 3), (512, 3), (512, 4)];
     let widths = [14, 6, 3, 9, 7, 7, 8, 9, 8];
-    println!("== Table 1: distributed compact routing for general graphs ==\n");
+    if !opts.json {
+        println!("== Table 1: distributed compact routing for general graphs ==\n");
+    }
     for family in [Family::ErdosRenyi, Family::Geometric] {
-        println!("--- family: {} ---", family.name());
-        print_header(
-            &[
-                "scheme", "n", "k", "rounds", "table", "label", "stretch", "memory", "4k-5",
-            ],
-            &widths,
-        );
+        if !opts.json {
+            println!("--- family: {} ---", family.name());
+            print_header(
+                &[
+                    "scheme", "n", "k", "rounds", "table", "label", "stretch", "memory", "4k-5",
+                ],
+                &widths,
+            );
+        }
         for &(n, k) in configs {
             let mut rng = ChaCha8Rng::seed_from_u64(0xFEED + (n * 31 + k) as u64);
             let g = family.generate(n, &mut rng);
@@ -43,8 +57,8 @@ fn main() {
                         if t == s {
                             continue;
                         }
-                        let trace = routing::covers::route_cover(&g, &cover, s, t)
-                            .expect("connected");
+                        let trace =
+                            routing::covers::route_cover(&g, &cover, s, t).expect("connected");
                         worst = worst.max(trace.weight as f64 / exact[t.index()] as f64);
                     }
                 }
@@ -53,20 +67,35 @@ fn main() {
                     .iter()
                     .map(|sc| sc.clusters.iter().map(|c| c.len()).sum::<usize>())
                     .sum();
-                print_row(
-                    &[
-                        "ABNLP90-style".into(),
-                        n.to_string(),
-                        k.to_string(),
-                        rounds.to_string(),
-                        cover.max_table_words().to_string(),
-                        cover.max_label_words().to_string(),
-                        format!("{worst:.2}"),
-                        "~table".into(),
-                        (4 * k - 5).to_string(),
-                    ],
-                    &widths,
-                );
+                if opts.json {
+                    json_rows.push(Value::object(vec![
+                        ("family", Value::from(family.name())),
+                        ("scheme", Value::from("ABNLP90-style")),
+                        ("n", Value::from(n)),
+                        ("k", Value::from(k)),
+                        ("rounds", Value::from(rounds)),
+                        ("table_words", Value::from(cover.max_table_words())),
+                        ("label_words", Value::from(cover.max_label_words())),
+                        ("stretch", Value::from((worst * 100.0).round() / 100.0)),
+                        ("memory_words", Value::Null),
+                        ("stretch_bound", Value::from(4 * k - 5)),
+                    ]));
+                } else {
+                    print_row(
+                        &[
+                            "ABNLP90-style".into(),
+                            n.to_string(),
+                            k.to_string(),
+                            rounds.to_string(),
+                            cover.max_table_words().to_string(),
+                            cover.max_label_words().to_string(),
+                            format!("{worst:.2}"),
+                            "~table".into(),
+                            (4 * k - 5).to_string(),
+                        ],
+                        &widths,
+                    );
+                }
             }
             for (name, mode) in [
                 ("TZ01b", Mode::Centralized),
@@ -74,43 +103,90 @@ fn main() {
                 ("this paper", Mode::DistributedLowMemory),
             ] {
                 let mut mode_rng = ChaCha8Rng::seed_from_u64(0xABCD + (n + k) as u64);
-                let built = build(&g, &BuildParams::new(k).with_mode(mode), &mut mode_rng);
+                let span = rec.begin(&format!("table1/{}/n{n}/k{k}/{name}", family.name()));
+                let built = build_observed(
+                    &g,
+                    &BuildParams::new(k).with_mode(mode),
+                    &mut mode_rng,
+                    &mut rec,
+                );
+                rec.end_with_memory(span, built.report.memory.peaks());
                 let stats = router::measure_stretch(
                     &g,
                     &built.scheme,
                     &srcs,
                     router::Selection::SourceOptimal,
                 );
-                print_row(
-                    &[
-                        name.into(),
-                        n.to_string(),
-                        k.to_string(),
-                        if mode == Mode::Centralized {
-                            "NA".into()
-                        } else {
-                            built.report.rounds.to_string()
-                        },
-                        built.report.max_table_words.to_string(),
-                        built.report.max_label_words.to_string(),
-                        format!("{:.2}", stats.max),
-                        if mode == Mode::Centralized {
-                            "NA".into()
-                        } else {
-                            built.report.memory.max_peak().to_string()
-                        },
-                        (4 * k - 5).to_string(),
-                    ],
-                    &widths,
-                );
+                if opts.json {
+                    let central = mode == Mode::Centralized;
+                    json_rows.push(Value::object(vec![
+                        ("family", Value::from(family.name())),
+                        ("scheme", Value::from(name)),
+                        ("n", Value::from(n)),
+                        ("k", Value::from(k)),
+                        (
+                            "rounds",
+                            if central {
+                                Value::Null
+                            } else {
+                                Value::from(built.report.rounds)
+                            },
+                        ),
+                        ("table_words", Value::from(built.report.max_table_words)),
+                        ("label_words", Value::from(built.report.max_label_words)),
+                        ("stretch", Value::from((stats.max * 100.0).round() / 100.0)),
+                        (
+                            "memory_words",
+                            if central {
+                                Value::Null
+                            } else {
+                                Value::from(built.report.memory.max_peak())
+                            },
+                        ),
+                        ("stretch_bound", Value::from(4 * k - 5)),
+                    ]));
+                } else {
+                    print_row(
+                        &[
+                            name.into(),
+                            n.to_string(),
+                            k.to_string(),
+                            if mode == Mode::Centralized {
+                                "NA".into()
+                            } else {
+                                built.report.rounds.to_string()
+                            },
+                            built.report.max_table_words.to_string(),
+                            built.report.max_label_words.to_string(),
+                            format!("{:.2}", stats.max),
+                            if mode == Mode::Centralized {
+                                "NA".into()
+                            } else {
+                                built.report.memory.max_peak().to_string()
+                            },
+                            (4 * k - 5).to_string(),
+                        ],
+                        &widths,
+                    );
+                }
             }
-            println!();
+            if !opts.json {
+                println!();
+            }
         }
     }
-    println!("expected shape: this paper's table/label sizes match the centralized");
-    println!("reference (tables ~n^(1/k), labels O(k log n)) while the prior row pays");
-    println!("a log factor on labels and extra memory; every measured stretch is at");
-    println!("most the implemented guarantee 4k-3 (below 4k-5 for k >= 3 in practice;");
-    println!("see EXPERIMENTS.md on the 4k-5 refinement); rounds for both distributed");
-    println!("rows are ~n^(1/2+1/k)+D up to polylog factors.");
+    if opts.json {
+        println!("{}", Value::Array(json_rows));
+    } else {
+        println!("expected shape: this paper's table/label sizes match the centralized");
+        println!("reference (tables ~n^(1/k), labels O(k log n)) while the prior row pays");
+        println!("a log factor on labels and extra memory; every measured stretch is at");
+        println!("most the implemented guarantee 4k-3 (below 4k-5 for k >= 3 in practice;");
+        println!("see EXPERIMENTS.md on the 4k-5 refinement); rounds for both distributed");
+        println!("rows are ~n^(1/2+1/k)+D up to polylog factors.");
+    }
+    if let Some(path) = &opts.report {
+        rec.write_report(path, "table1", &[])
+            .unwrap_or_else(|e| eprintln!("failed to write report {}: {e}", path.display()));
+    }
 }

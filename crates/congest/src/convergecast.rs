@@ -70,7 +70,9 @@ impl VertexProtocol for CastVertex {
     }
 
     fn is_done(&self) -> bool {
-        !self.in_tree || self.sent || (self.is_root && self.heard_children == self.expected_children)
+        !self.in_tree
+            || self.sent
+            || (self.is_root && self.heard_children == self.expected_children)
     }
 
     fn memory_words(&self) -> usize {
@@ -170,7 +172,11 @@ mod tests {
         let tree = bfs::build_bfs_tree(&net, VertexId(0)).tree;
         let out = converge(&net, &tree, &vec![1; 40], Aggregate::Sum);
         assert_eq!(out.result, 40);
-        assert!(out.stats.rounds >= 39 && out.stats.rounds <= 41, "{}", out.stats.rounds);
+        assert!(
+            out.stats.rounds >= 39 && out.stats.rounds <= 41,
+            "{}",
+            out.stats.rounds
+        );
     }
 
     #[test]
@@ -190,7 +196,14 @@ mod tests {
         // Tree covering only vertices 0..3.
         let tree = graphs::RootedTree::from_parents(
             VertexId(0),
-            vec![None, Some(VertexId(0)), Some(VertexId(1)), Some(VertexId(2)), None, None],
+            vec![
+                None,
+                Some(VertexId(0)),
+                Some(VertexId(1)),
+                Some(VertexId(2)),
+                None,
+                None,
+            ],
             vec![0, 1, 1, 1, 0, 0],
         );
         let net = Network::new(g);

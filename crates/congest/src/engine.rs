@@ -74,11 +74,15 @@ impl<'a, M: Clone> Ctx<'a, M> {
         self.outbox.push((to, msg));
     }
 
-    /// Queue the same message to every neighbor.
+    /// Queue the same message to every neighbor. The final recipient takes
+    /// ownership of `msg`; only the first `deg - 1` copies are cloned.
     pub fn send_all(&mut self, msg: M) {
-        for i in 0..self.arcs.len() {
-            let to = self.arcs[i].to;
-            self.outbox.push((to, msg.clone()));
+        if let Some((last, rest)) = self.arcs.split_last() {
+            self.outbox.reserve(self.arcs.len());
+            for arc in rest {
+                self.outbox.push((arc.to, msg.clone()));
+            }
+            self.outbox.push((last.to, msg));
         }
     }
 }
@@ -159,7 +163,26 @@ impl Engine {
     pub fn run<P: VertexProtocol>(
         &self,
         network: &Network,
+        protocols: Vec<P>,
+    ) -> (Vec<P>, RunStats) {
+        self.run_traced(network, protocols, &mut obs::Recorder::disabled())
+    }
+
+    /// Like [`Engine::run`], but additionally appends one
+    /// [`obs::RoundSample`] per executed round (including the init sends as
+    /// round 0) to `recorder`'s time series. Recorder *totals* are untouched:
+    /// the engine's costs reach run totals through whatever ledger charges
+    /// the caller makes from the returned [`RunStats`], so the time series
+    /// never double-counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Engine::run`].
+    pub fn run_traced<P: VertexProtocol>(
+        &self,
+        network: &Network,
         mut protocols: Vec<P>,
+        recorder: &mut obs::Recorder,
     ) -> (Vec<P>, RunStats) {
         let n = network.len();
         assert_eq!(protocols.len(), n, "one protocol instance per vertex");
@@ -172,7 +195,7 @@ impl Engine {
         let mut inboxes: Vec<Vec<(VertexId, P::Msg)>> = vec![Vec::new(); n];
 
         // Init phase (round 0 sends).
-        for v in 0..n {
+        for (v, protocol) in protocols.iter_mut().enumerate() {
             let vid = VertexId(v as u32);
             let mut ctx = Ctx {
                 me: vid,
@@ -180,9 +203,18 @@ impl Engine {
                 round: 0,
                 outbox: Vec::new(),
             };
-            protocols[v].init(&mut ctx);
+            protocol.init(&mut ctx);
             self.dispatch(network, vid, ctx.outbox, &mut inboxes, &mut stats);
-            stats.memory.set(vid, protocols[v].memory_words());
+            stats.memory.set(vid, protocol.memory_words());
+        }
+        if recorder.is_enabled() && stats.messages > 0 {
+            recorder.record_round(obs::RoundSample {
+                round: 0,
+                messages: stats.messages,
+                words: stats.words,
+                max_edge_words: stats.max_edge_words,
+                congestion_violations: stats.congestion_violations,
+            });
         }
 
         let mut sent_last_round = inboxes.iter().any(|b| !b.is_empty());
@@ -205,7 +237,9 @@ impl Engine {
             stats.rounds += 1;
 
             let delivered = std::mem::replace(&mut inboxes, vec![Vec::new(); n]);
-            let words_before = stats.messages;
+            let messages_before = stats.messages;
+            let words_before = stats.words;
+            let violations_before = stats.congestion_violations;
             for (v, inbox) in delivered.into_iter().enumerate() {
                 let vid = VertexId(v as u32);
                 if inbox.is_empty() && protocols[v].is_done() {
@@ -221,7 +255,16 @@ impl Engine {
                 self.dispatch(network, vid, ctx.outbox, &mut inboxes, &mut stats);
                 stats.memory.set(vid, protocols[v].memory_words());
             }
-            sent_last_round = stats.messages > words_before;
+            if recorder.is_enabled() {
+                recorder.record_round(obs::RoundSample {
+                    round: stats.rounds,
+                    messages: stats.messages - messages_before,
+                    words: stats.words - words_before,
+                    max_edge_words: stats.max_edge_words,
+                    congestion_violations: stats.congestion_violations - violations_before,
+                });
+            }
+            sent_last_round = stats.messages > messages_before;
         }
         (protocols, stats)
     }
@@ -325,7 +368,11 @@ mod tests {
             assert_eq!(p.heard_at, Some(v as u64));
         }
         // Last vertex hears at round 5; one more round may drain its echo.
-        assert!(stats.rounds >= 5 && stats.rounds <= 7, "rounds={}", stats.rounds);
+        assert!(
+            stats.rounds >= 5 && stats.rounds <= 7,
+            "rounds={}",
+            stats.rounds
+        );
     }
 
     #[test]
@@ -455,5 +502,33 @@ mod tests {
     fn protocol_count_must_match() {
         let net = path_network(3);
         Engine::new().run(&net, flood(2));
+    }
+
+    #[test]
+    fn traced_run_samples_every_round() {
+        let net = path_network(4);
+        let mut rec = obs::Recorder::new();
+        let (_, stats) = Engine::new().run_traced(&net, flood(4), &mut rec);
+        assert!(stats.completed);
+        // One sample for the init sends plus one per executed round.
+        let series = rec.series();
+        assert_eq!(series.len() as u64, stats.rounds + 1);
+        assert_eq!(series[0].round, 0);
+        assert_eq!(series.last().unwrap().round, stats.rounds);
+        let messages: u64 = series.iter().map(|s| s.messages).sum();
+        let words: u64 = series.iter().map(|s| s.words).sum();
+        assert_eq!(messages, stats.messages);
+        assert_eq!(words, stats.words);
+        // The hook records the series without touching recorder totals.
+        assert_eq!(rec.totals(), obs::Counters::ZERO);
+    }
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let net = path_network(4);
+        let mut rec = obs::Recorder::disabled();
+        let (_, stats) = Engine::new().run_traced(&net, flood(4), &mut rec);
+        assert!(stats.completed);
+        assert!(rec.series().is_empty());
     }
 }

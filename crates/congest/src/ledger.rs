@@ -23,6 +23,7 @@
 pub struct CostLedger {
     rounds: u64,
     messages: u64,
+    words: u64,
     broadcasts: u64,
 }
 
@@ -38,9 +39,18 @@ impl CostLedger {
     }
 
     /// Charge `m` point-to-point messages (does not advance rounds; round
-    /// cost is charged separately by the caller based on the schedule).
+    /// cost is charged separately by the caller based on the schedule). Each
+    /// message carries one word unless extra payload is charged via
+    /// [`CostLedger::charge_words`].
     pub fn charge_messages(&mut self, m: u64) {
         self.messages += m;
+        self.words += m;
+    }
+
+    /// Charge `w` additional payload words beyond the one-word-per-message
+    /// default (for the rare multi-word messages the model still permits).
+    pub fn charge_words(&mut self, w: u64) {
+        self.words += w;
     }
 
     /// Charge a Lemma-1 broadcast/convergecast of `m` messages over a BFS
@@ -49,7 +59,32 @@ impl CostLedger {
     pub fn charge_broadcast(&mut self, m: u64, d: u64) {
         self.rounds += m + d;
         self.messages += m;
+        self.words += m;
         self.broadcasts += 1;
+    }
+
+    /// [`CostLedger::charge_rounds`], also attributed to `rec`'s open spans.
+    pub fn charge_rounds_span(&mut self, r: u64, rec: &mut obs::Recorder) {
+        self.charge_rounds(r);
+        rec.charge_rounds(r);
+    }
+
+    /// [`CostLedger::charge_messages`], also attributed to `rec`'s open spans.
+    pub fn charge_messages_span(&mut self, m: u64, rec: &mut obs::Recorder) {
+        self.charge_messages(m);
+        rec.charge_messages(m, m);
+    }
+
+    /// [`CostLedger::charge_broadcast`], also attributed to `rec`'s open
+    /// spans.
+    pub fn charge_broadcast_span(&mut self, m: u64, d: u64, rec: &mut obs::Recorder) {
+        self.charge_broadcast(m, d);
+        rec.charge(&obs::Counters {
+            rounds: m + d,
+            messages: m,
+            words: m,
+            broadcasts: 1,
+        });
     }
 
     /// Rounds consumed so far.
@@ -62,15 +97,32 @@ impl CostLedger {
         self.messages
     }
 
+    /// Words carried by those messages.
+    pub fn words(&self) -> u64 {
+        self.words
+    }
+
     /// Number of Lemma-1 broadcast phases charged.
     pub fn broadcasts(&self) -> u64 {
         self.broadcasts
+    }
+
+    /// The ledger's totals as observability counters, for span attribution
+    /// via [`obs::Counters::delta_since`] snapshots around a phase.
+    pub fn counters(&self) -> obs::Counters {
+        obs::Counters {
+            rounds: self.rounds,
+            messages: self.messages,
+            words: self.words,
+            broadcasts: self.broadcasts,
+        }
     }
 
     /// Absorb another ledger that ran *after* this one.
     pub fn merge_sequential(&mut self, other: &CostLedger) {
         self.rounds += other.rounds;
         self.messages += other.messages;
+        self.words += other.words;
         self.broadcasts += other.broadcasts;
     }
 
@@ -79,6 +131,7 @@ impl CostLedger {
     pub fn merge_concurrent(&mut self, other: &CostLedger) {
         self.rounds = self.rounds.max(other.rounds);
         self.messages += other.messages;
+        self.words += other.words;
         self.broadcasts += other.broadcasts;
     }
 }
@@ -126,6 +179,31 @@ mod tests {
         let c = CostLedger::new();
         assert_eq!(c.rounds(), 0);
         assert_eq!(c.messages(), 0);
+        assert_eq!(c.words(), 0);
         assert_eq!(c.broadcasts(), 0);
+    }
+
+    #[test]
+    fn words_track_messages_plus_payload() {
+        let mut c = CostLedger::new();
+        c.charge_messages(4);
+        c.charge_words(6);
+        c.charge_broadcast(10, 1);
+        assert_eq!(c.words(), 20);
+        assert_eq!(c.counters().words, 20);
+        assert_eq!(c.counters().rounds, c.rounds());
+    }
+
+    #[test]
+    fn span_variants_mirror_into_recorder() {
+        let mut c = CostLedger::new();
+        let mut rec = obs::Recorder::new();
+        let span = rec.begin("phase");
+        c.charge_rounds_span(3, &mut rec);
+        c.charge_messages_span(2, &mut rec);
+        c.charge_broadcast_span(5, 1, &mut rec);
+        rec.end(span);
+        assert_eq!(rec.totals(), c.counters());
+        assert_eq!(rec.spans()[0].delta, c.counters());
     }
 }

@@ -98,6 +98,12 @@ impl MemoryMeter {
         self.peak.iter().copied().max().unwrap_or(0)
     }
 
+    /// The per-vertex peak slice (index = vertex id), for distribution
+    /// snapshots such as [`obs::MemoryDist::from_peaks`].
+    pub fn peaks(&self) -> &[usize] {
+        &self.peak
+    }
+
     /// The vertex attaining [`MemoryMeter::max_peak`], if any vertex exists.
     pub fn argmax_peak(&self) -> Option<VertexId> {
         self.peak

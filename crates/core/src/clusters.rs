@@ -125,11 +125,7 @@ fn pruned_exploration(
         if u != v && d >= next_dist[u.index()] {
             continue;
         }
-        let (p, w) = if u == v {
-            (v, 0)
-        } else {
-            parent[&u]
-        };
+        let (p, w) = if u == v { (v, 0) } else { parent[&u] };
         members.insert(
             u,
             MemberInfo {
@@ -227,7 +223,9 @@ fn one_approx_cluster(
         thr == INFINITY || (est as f64) * factor < thr as f64
     };
     let limit = {
-        let virt_flag: Vec<bool> = (0..n as u32).map(|u| virt.is_virtual(VertexId(u))).collect();
+        let virt_flag: Vec<bool> = (0..n as u32)
+            .map(|u| virt.is_virtual(VertexId(u)))
+            .collect();
         move |u: VertexId, est: Weight| {
             let factor = if virt_flag[u.index()] {
                 (1.0 + eps) * (1.0 + eps)
@@ -327,8 +325,7 @@ fn one_approx_cluster(
         if du == INFINITY {
             continue;
         }
-        member[u.index()] =
-            u == v || forced[u.index()] || passes(u, du, 1.0 + eps);
+        member[u.index()] = u == v || forced[u.index()] || passes(u, du, 1.0 + eps);
     }
     // Repair: a member whose parent chain leaves the membership is dropped
     // (rare — only when a clipped vertex relayed the winning offer).
@@ -386,7 +383,7 @@ fn one_approx_cluster(
 /// Hop depth of a sparse tree (0 for a singleton).
 pub fn tree_depth(tree: &SparseTree) -> usize {
     let mut best = 0;
-    for (&u, _) in &tree.members {
+    for &u in tree.members.keys() {
         let mut cur = u;
         let mut hops = 0;
         while cur != tree.root {
@@ -435,13 +432,11 @@ mod tests {
             .collect();
         let mut led = CostLedger::new();
         let mut mem = MemoryMeter::new(90);
-        let (trees, stats) =
-            exact_clusters(&g, &roots, 0, &next_dist, 90, &mut led, &mut mem);
+        let (trees, stats) = exact_clusters(&g, &roots, 0, &next_dist, 90, &mut led, &mut mem);
         assert_eq!(stats.clusters, 20);
         for tree in &trees {
             let want = cluster_by_definition(&g, tree.root, &next_dist);
-            let got: std::collections::HashSet<VertexId> =
-                tree.members.keys().copied().collect();
+            let got: std::collections::HashSet<VertexId> = tree.members.keys().copied().collect();
             assert_eq!(got, want, "cluster of {}", tree.root);
             // Distances are exact.
             let dv = shortest_paths::dijkstra(&g, tree.root);
@@ -501,12 +496,7 @@ mod tests {
             &mut rng,
         );
         // Next-level set: a sub-sample of the virtual vertices.
-        let a_next: Vec<VertexId> = virt
-            .virtual_vertices()
-            .iter()
-            .copied()
-            .step_by(4)
-            .collect();
+        let a_next: Vec<VertexId> = virt.virtual_vertices().iter().copied().step_by(4).collect();
         let (next_hat, _) = shortest_paths::multi_source_dijkstra(&g, &a_next);
         let roots: Vec<VertexId> = virt
             .virtual_vertices()
@@ -580,8 +570,8 @@ mod tests {
         for tree in &trees {
             let dv = shortest_paths::dijkstra(&f.g, tree.root);
             for u in f.g.vertices() {
-                let inner = (dv[u.index()] as f64) * (1.0 + 6.0 * eps)
-                    < f.next_hat[u.index()] as f64;
+                let inner =
+                    (dv[u.index()] as f64) * (1.0 + 6.0 * eps) < f.next_hat[u.index()] as f64;
                 if u == tree.root || (inner && f.next_hat[u.index()] != INFINITY) {
                     assert!(
                         tree.contains(u),
@@ -599,7 +589,17 @@ mod tests {
         let mut led = CostLedger::new();
         let mut mem = MemoryMeter::new(f.g.num_vertices());
         let (trees, _) = approx_clusters(
-            &f.g, &f.virt, &f.hopset, &f.roots, 1, &f.next_hat, 0.05, 300, 8, &mut led, &mut mem,
+            &f.g,
+            &f.virt,
+            &f.hopset,
+            &f.roots,
+            1,
+            &f.next_hat,
+            0.05,
+            300,
+            8,
+            &mut led,
+            &mut mem,
         );
         for tree in &trees {
             let dv = shortest_paths::dijkstra(&f.g, tree.root);
@@ -644,7 +644,17 @@ mod tests {
         let mut led = CostLedger::new();
         let mut mem = MemoryMeter::new(f.g.num_vertices());
         let (trees, stats) = approx_clusters(
-            &f.g, &f.virt, &f.hopset, &f.roots, 1, &f.next_hat, 0.05, 300, 8, &mut led, &mut mem,
+            &f.g,
+            &f.virt,
+            &f.hopset,
+            &f.roots,
+            1,
+            &f.next_hat,
+            0.05,
+            300,
+            8,
+            &mut led,
+            &mut mem,
         );
         assert_eq!(stats.clusters, trees.len());
         assert_eq!(

@@ -110,11 +110,7 @@ impl CoverScheme {
 }
 
 /// Truncated Dijkstra from `c`: all vertices within `reach`, with parents.
-fn ball(
-    g: &Graph,
-    c: VertexId,
-    reach: Weight,
-) -> HashMap<VertexId, (Weight, Option<VertexId>)> {
+fn ball(g: &Graph, c: VertexId, reach: Weight) -> HashMap<VertexId, (Weight, Option<VertexId>)> {
     use std::cmp::Reverse;
     use std::collections::BinaryHeap;
     let mut out: HashMap<VertexId, (Weight, Option<VertexId>)> = HashMap::new();
@@ -127,7 +123,7 @@ fn ball(
         }
         for arc in g.neighbors(u) {
             let nd = dist_add(d, arc.weight);
-            if nd <= reach && out.get(&arc.to).map_or(true, |&(old, _)| nd < old) {
+            if nd <= reach && out.get(&arc.to).is_none_or(|&(old, _)| nd < old) {
                 out.insert(arc.to, (nd, Some(u)));
                 heap.push(Reverse((nd, arc.to)));
             }
@@ -150,7 +146,12 @@ pub fn build_cover_scheme(g: &Graph, k: usize) -> CoverScheme {
     // Scales: powers of two up to the weighted diameter, bounded by twice
     // the eccentricity of vertex 0 (diam ≤ 2·ecc by the triangle inequality).
     let probe = graphs::shortest_paths::dijkstra(g, VertexId(0));
-    let ecc = probe.iter().copied().filter(|&d| d != INFINITY).max().unwrap_or(1);
+    let ecc = probe
+        .iter()
+        .copied()
+        .filter(|&d| d != INFINITY)
+        .max()
+        .unwrap_or(1);
     let diam = 2 * ecc.max(1);
     let mut scales = Vec::new();
     let mut scale: Weight = 1;
@@ -218,10 +219,7 @@ fn build_scale(g: &Graph, scale: Weight, growth: f64) -> ScaleCover {
             let mut members = HashMap::with_capacity(cluster.len());
             for (&u, &(d, p)) in &cluster {
                 let (parent, pw) = match p {
-                    Some(p) => (
-                        p,
-                        g.edge_weight(p, u).expect("ball parent edge"),
-                    ),
+                    Some(p) => (p, g.edge_weight(p, u).expect("ball parent edge")),
                     None => (u, 0),
                 };
                 members.insert(
@@ -447,8 +445,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let tz = crate::scheme::build(
             &g,
-            &crate::scheme::BuildParams::new(2)
-                .with_mode(crate::scheme::Mode::Centralized),
+            &crate::scheme::BuildParams::new(2).with_mode(crate::scheme::Mode::Centralized),
             &mut rng,
         );
         assert!(cover.max_label_words() > tz.report.max_label_words);

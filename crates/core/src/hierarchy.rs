@@ -34,11 +34,7 @@ impl Hierarchy {
         let mut sets: Vec<Vec<VertexId>> = vec![(0..n as u32).map(VertexId).collect()];
         for i in 1..k {
             let prev = &sets[i - 1];
-            let next: Vec<VertexId> = prev
-                .iter()
-                .copied()
-                .filter(|_| rng.gen_bool(p))
-                .collect();
+            let next: Vec<VertexId> = prev.iter().copied().filter(|_| rng.gen_bool(p)).collect();
             for &v in &next {
                 level_of[v.index()] = i;
             }

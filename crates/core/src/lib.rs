@@ -56,6 +56,6 @@ pub mod sparse;
 pub mod verify;
 
 pub use scheme::{
-    build, BuildParams, BuildReport, Built, LabelEntry, Mode, RoutingLabel, RoutingScheme,
-    RoutingTable, TableEntry,
+    build, build_observed, BuildParams, BuildReport, Built, LabelEntry, Mode, RoutingLabel,
+    RoutingScheme, RoutingTable, TableEntry,
 };

@@ -119,7 +119,11 @@ mod tests {
     fn oracle_stretch_2k_minus_1_centralized() {
         for k in [2usize, 3] {
             let (g, mut rng) = er(70, 500 + k as u64);
-            let built = build(&g, &BuildParams::new(k).with_mode(Mode::Centralized), &mut rng);
+            let built = build(
+                &g,
+                &BuildParams::new(k).with_mode(Mode::Centralized),
+                &mut rng,
+            );
             check_all_pairs(&g, &built.scheme, (2 * k - 1) as f64 + 1e-9);
         }
     }

@@ -132,7 +132,7 @@ pub fn send(
     for e in &label.entries {
         if let Some(te) = src_table.entry(e.pivot) {
             let cost = te.dist.saturating_add(e.dist);
-            if chosen.map_or(true, |(_, c)| cost < c) {
+            if chosen.is_none_or(|(_, c)| cost < c) {
                 chosen = Some((e, cost));
             }
         }
@@ -316,7 +316,7 @@ pub fn send_many(
         for e in &label.entries {
             if let Some(te) = src_table.entry(e.pivot) {
                 let cost = te.dist.saturating_add(e.dist);
-                if chosen.map_or(true, |(_, c)| cost < c) {
+                if chosen.is_none_or(|(_, c)| cost < c) {
                     chosen = Some((e, cost));
                 }
             }
@@ -395,8 +395,7 @@ mod tests {
         for (s, t) in [(0u32, 59u32), (5, 30), (42, 7)] {
             let report = send(&net, &scheme, VertexId(s), VertexId(t));
             assert!(report.delivered);
-            let central =
-                router::route(net.graph(), &scheme, VertexId(s), VertexId(t)).unwrap();
+            let central = router::route(net.graph(), &scheme, VertexId(s), VertexId(t)).unwrap();
             assert_eq!(report.weight, central.weight);
             assert_eq!(report.rounds as usize, central.hops());
         }
@@ -417,7 +416,11 @@ mod tests {
         let report = send(&net, &scheme, VertexId(0), VertexId(99));
         assert!(report.delivered);
         // Header (2) + label (1 + 2·light); light ≤ log2(n).
-        assert!(report.packet_words <= 2 + 1 + 2 * 7, "{}", report.packet_words);
+        assert!(
+            report.packet_words <= 2 + 1 + 2 * 7,
+            "{}",
+            report.packet_words
+        );
         assert_eq!(report.stats.congestion_violations, 0);
     }
 
@@ -461,8 +464,7 @@ mod tests {
         // every packet arrives.
         let (net, scheme) = setup(50, 607);
         let sink = VertexId(0);
-        let pairs: Vec<(VertexId, VertexId)> =
-            (1..50u32).map(|i| (VertexId(i), sink)).collect();
+        let pairs: Vec<(VertexId, VertexId)> = (1..50u32).map(|i| (VertexId(i), sink)).collect();
         let report = send_many(&net, &scheme, &pairs);
         assert_eq!(report.dropped, 0);
         let delivered = report.deliveries.iter().flatten().count();

@@ -117,11 +117,14 @@ pub fn encode_scheme(s: &RoutingScheme) -> Result<Vec<u8>, PersistError> {
     let mut buf = Vec::new();
     buf.extend_from_slice(MAGIC);
     write_varint(&mut buf, s.k as u64);
-    write_varint(&mut buf, match s.mode {
-        Mode::Centralized => 0,
-        Mode::DistributedLowMemory => 1,
-        Mode::DistributedPrior => unreachable!("rejected above"),
-    });
+    write_varint(
+        &mut buf,
+        match s.mode {
+            Mode::Centralized => 0,
+            Mode::DistributedLowMemory => 1,
+            Mode::DistributedPrior => unreachable!("rejected above"),
+        },
+    );
     write_varint(&mut buf, s.tables.len() as u64);
     for table in &s.tables {
         write_varint(&mut buf, table.entries.len() as u64);
@@ -331,7 +334,10 @@ mod tests {
             .iter()
             .map(congest::WordSized::words)
             .sum::<usize>()
-            + s.labels.iter().map(congest::WordSized::words).sum::<usize>();
+            + s.labels
+                .iter()
+                .map(congest::WordSized::words)
+                .sum::<usize>();
         assert!(
             bytes.len() < 8 * words,
             "varint encoding ({} bytes) should beat raw words ({} bytes)",

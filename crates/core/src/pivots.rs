@@ -80,6 +80,7 @@ pub fn exact_pivots(
 
 /// Approximate pivots toward `set ⊆ V'` via hopset Bellman–Ford (β capped at
 /// `beta_budget`) plus the built-in final `B`-bounded extension.
+#[allow(clippy::too_many_arguments)]
 pub fn approx_pivots(
     g: &Graph,
     virt: &VirtualGraph,
@@ -151,8 +152,15 @@ mod tests {
     fn exact_pivots_match_dijkstra() {
         let mut rng = ChaCha8Rng::seed_from_u64(211);
         let g = generators::erdos_renyi_connected(80, 0.08, 1..=9, &mut rng);
-        let set: Vec<VertexId> = (0..80u32).filter(|_| rng.gen_bool(0.1)).map(VertexId).collect();
-        let set = if set.is_empty() { vec![VertexId(0)] } else { set };
+        let set: Vec<VertexId> = (0..80u32)
+            .filter(|_| rng.gen_bool(0.1))
+            .map(VertexId)
+            .collect();
+        let set = if set.is_empty() {
+            vec![VertexId(0)]
+        } else {
+            set
+        };
         let mut led = CostLedger::new();
         let mut mem = MemoryMeter::new(80);
         let got = exact_pivots(&g, &set, 80, &mut led, &mut mem);

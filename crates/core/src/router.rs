@@ -131,7 +131,7 @@ pub fn route_with(
                 continue;
             }
             let trace = route_in_tree(g, scheme, src, e)?;
-            if best.as_ref().map_or(true, |b| trace.weight < b.weight) {
+            if best.as_ref().is_none_or(|b| trace.weight < b.weight) {
                 best = Some(trace);
             }
         }
@@ -149,7 +149,7 @@ pub fn route_with(
                 break;
             }
             Selection::SourceOptimal => {
-                if chosen.map_or(true, |(_, c)| cost < c) {
+                if chosen.is_none_or(|(_, c)| cost < c) {
                     chosen = Some((e, cost));
                 }
             }
@@ -196,7 +196,10 @@ fn route_in_tree(
             }
             RouteAction::Forward(next) => {
                 let Some(ew) = g.edge_weight(cur, next) else {
-                    return Err(GraphRouteError::BadForward { from: cur, to: next });
+                    return Err(GraphRouteError::BadForward {
+                        from: cur,
+                        to: next,
+                    });
                 };
                 weight += ew;
                 path.push(next);
@@ -305,7 +308,11 @@ mod tests {
     #[test]
     fn stretch_bound_holds_centralized_k2() {
         let (g, mut rng) = er(70, 311);
-        let built = build(&g, &BuildParams::new(2).with_mode(Mode::Centralized), &mut rng);
+        let built = build(
+            &g,
+            &BuildParams::new(2).with_mode(Mode::Centralized),
+            &mut rng,
+        );
         let stats = measure_stretch(&g, &built.scheme, &all_sources(&g), Selection::FirstValid);
         assert_eq!(stats.pairs, 70 * 69);
         assert!(
@@ -319,8 +326,12 @@ mod tests {
     fn stretch_bound_holds_distributed_k2() {
         let (g, mut rng) = er(70, 312);
         let built = build(&g, &BuildParams::new(2), &mut rng);
-        let stats =
-            measure_stretch(&g, &built.scheme, &all_sources(&g), Selection::SourceOptimal);
+        let stats = measure_stretch(
+            &g,
+            &built.scheme,
+            &all_sources(&g),
+            Selection::SourceOptimal,
+        );
         assert!(
             stats.max <= (4 * 2 - 3) as f64 + 0.5,
             "stretch {} exceeds 4k-3+o(1)",
@@ -332,8 +343,12 @@ mod tests {
     fn stretch_bound_holds_distributed_k3() {
         let (g, mut rng) = er(90, 313);
         let built = build(&g, &BuildParams::new(3), &mut rng);
-        let stats =
-            measure_stretch(&g, &built.scheme, &all_sources(&g), Selection::SourceOptimal);
+        let stats = measure_stretch(
+            &g,
+            &built.scheme,
+            &all_sources(&g),
+            Selection::SourceOptimal,
+        );
         assert!(
             stats.max <= (4 * 3 - 3) as f64 + 0.5,
             "stretch {} exceeds 4k-3+o(1)",
@@ -349,8 +364,12 @@ mod tests {
             &BuildParams::new(2).with_mode(Mode::DistributedPrior),
             &mut rng,
         );
-        let stats =
-            measure_stretch(&g, &built.scheme, &all_sources(&g), Selection::SourceOptimal);
+        let stats = measure_stretch(
+            &g,
+            &built.scheme,
+            &all_sources(&g),
+            Selection::SourceOptimal,
+        );
         assert!(
             stats.max <= (4 * 2 - 3) as f64 + 0.5,
             "prior-mode stretch {} exceeds bound",
@@ -398,8 +417,12 @@ mod tests {
     fn percentiles_are_ordered_and_bounded() {
         let (g, mut rng) = er(60, 322);
         let built = build(&g, &BuildParams::new(2), &mut rng);
-        let stats =
-            measure_stretch(&g, &built.scheme, &all_sources(&g), Selection::SourceOptimal);
+        let stats = measure_stretch(
+            &g,
+            &built.scheme,
+            &all_sources(&g),
+            Selection::SourceOptimal,
+        );
         assert!(1.0 <= stats.p50);
         assert!(stats.p50 <= stats.p95);
         assert!(stats.p95 <= stats.p99);

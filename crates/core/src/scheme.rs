@@ -26,7 +26,7 @@ use std::collections::HashMap;
 
 use congest::{bfs, CostLedger, MemoryMeter, Network, WordSized};
 use graphs::{Graph, VertexId, Weight, INFINITY};
-use hopset::construction::{build as build_hopset, HopsetParams};
+use hopset::construction::{build_observed as build_hopset_observed, HopsetParams};
 use hopset::virtual_graph::default_b;
 use hopset::VirtualGraph;
 use rand::Rng;
@@ -242,8 +242,7 @@ impl RoutingScheme {
         if self.tables.is_empty() {
             return 0.0;
         }
-        self.tables.iter().map(WordSized::words).sum::<usize>() as f64
-            / self.tables.len() as f64
+        self.tables.iter().map(WordSized::words).sum::<usize>() as f64 / self.tables.len() as f64
     }
 }
 
@@ -285,13 +284,31 @@ pub struct BuildReport {
 impl std::fmt::Display for BuildReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "rounds            : {}", self.rounds)?;
-        writeln!(f, "peak memory       : {} words/vertex", self.memory.max_peak())?;
-        writeln!(f, "max table / label : {} / {} words", self.max_table_words, self.max_label_words)?;
-        writeln!(f, "clusters          : {} ({} memberships, s = {})",
-            self.cluster_count, self.total_membership, self.max_membership)?;
-        writeln!(f, "hopset            : {} edges, arboricity {}, beta {}",
-            self.hopset_edges, self.hopset_arboricity, self.beta_used)?;
-        write!(f, "backbone depth    : {} (|V'| = {})", self.bfs_depth, self.virtual_count)
+        writeln!(
+            f,
+            "peak memory       : {} words/vertex",
+            self.memory.max_peak()
+        )?;
+        writeln!(
+            f,
+            "max table / label : {} / {} words",
+            self.max_table_words, self.max_label_words
+        )?;
+        writeln!(
+            f,
+            "clusters          : {} ({} memberships, s = {})",
+            self.cluster_count, self.total_membership, self.max_membership
+        )?;
+        writeln!(
+            f,
+            "hopset            : {} edges, arboricity {}, beta {}",
+            self.hopset_edges, self.hopset_arboricity, self.beta_used
+        )?;
+        write!(
+            f,
+            "backbone depth    : {} (|V'| = {})",
+            self.bfs_depth, self.virtual_count
+        )
     }
 }
 
@@ -313,6 +330,25 @@ pub struct Built {
 /// Panics if `g` is empty. Disconnected graphs are allowed; routing between
 /// components fails at the routing phase with `NoCommonTree`.
 pub fn build<R: Rng>(g: &Graph, params: &BuildParams, rng: &mut R) -> Built {
+    build_observed(g, params, rng, &mut obs::Recorder::disabled())
+}
+
+/// [`build`], attributing each pipeline phase to a span on `rec`:
+/// `scheme/backbone`, `scheme/hierarchy`, `scheme/hopset` (with the hopset's
+/// own per-level spans nested beneath it), `scheme/pivots`,
+/// `scheme/clusters`, `scheme/tree-routing`, and `scheme/assembly`. Span
+/// counter deltas partition the ledger totals exactly, and each span closes
+/// with a per-vertex peak-memory distribution snapshot.
+///
+/// # Panics
+///
+/// Panics if `g` is empty (as [`build`]).
+pub fn build_observed<R: Rng>(
+    g: &Graph,
+    params: &BuildParams,
+    rng: &mut R,
+    rec: &mut obs::Recorder,
+) -> Built {
     let n = g.num_vertices();
     assert!(n > 0, "graph must be non-empty");
     let k = params.k;
@@ -321,10 +357,11 @@ pub fn build<R: Rng>(g: &Graph, params: &BuildParams, rng: &mut R) -> Built {
     let distributed = params.mode != Mode::Centralized;
 
     // Backbone.
+    let backbone_span = rec.begin("scheme/backbone");
     let network = Network::new(g.clone());
     let d = if distributed {
         let out = bfs::build_bfs_tree(&network, VertexId(0));
-        ledger.charge_rounds(out.stats.rounds);
+        ledger.charge_rounds_span(out.stats.rounds, rec);
         for v in g.vertices() {
             memory.add(v, 3);
         }
@@ -332,26 +369,29 @@ pub fn build<R: Rng>(g: &Graph, params: &BuildParams, rng: &mut R) -> Built {
     } else {
         0
     };
+    rec.end_with_memory(backbone_span, memory.peaks());
 
     // Hierarchy (k coins per vertex, zero rounds).
+    let hierarchy_span = rec.begin("scheme/hierarchy");
     let hier = Hierarchy::sample(n, k, rng);
     for v in g.vertices() {
         memory.add(v, k);
     }
     let realized = hier.realized_levels();
     let split = k.div_ceil(2).min(realized);
+    rec.end_with_memory(hierarchy_span, memory.peaks());
 
     // Virtual machinery, when any level at or above `split` exists and we
     // are distributed. (Centralized mode computes everything exactly.)
     let needs_virtual = distributed && realized > split;
-    let virt = needs_virtual.then(|| {
-        VirtualGraph::from_set(g, hier.set(split).to_vec(), default_b(n))
-    });
+    let virt =
+        needs_virtual.then(|| VirtualGraph::from_set(g, hier.set(split).to_vec(), default_b(n)));
     let mut hopset_edges = 0;
     let mut hopset_arboricity = 0;
     let mut beta_used = 0;
+    let hopset_span = rec.begin("scheme/hopset");
     let hs = virt.as_ref().map(|virt| {
-        let out = build_hopset(
+        let out = build_hopset_observed(
             g,
             virt,
             HopsetParams {
@@ -361,6 +401,7 @@ pub fn build<R: Rng>(g: &Graph, params: &BuildParams, rng: &mut R) -> Built {
             &mut ledger,
             &mut memory,
             rng,
+            rec,
         );
         hopset_edges = out.stats.edges;
         hopset_arboricity = out.stats.arboricity;
@@ -372,13 +413,14 @@ pub fn build<R: Rng>(g: &Graph, params: &BuildParams, rng: &mut R) -> Built {
             // virtual vertex stores its E' incident edges — the Ω̃(√n)
             // memory step the paper eliminates.
             let edges = virt.materialize(g);
-            ledger.charge_broadcast(edges.len() as u64, d as u64);
+            ledger.charge_broadcast_span(edges.len() as u64, d as u64, rec);
             for &(u, v, _) in &edges {
                 memory.add(u, 2);
                 memory.add(v, 2);
             }
         }
     }
+    rec.end_with_memory(hopset_span, memory.peaks());
     let beta_budget = if params.beta_budget > 0 {
         params.beta_budget
     } else {
@@ -386,7 +428,10 @@ pub fn build<R: Rng>(g: &Graph, params: &BuildParams, rng: &mut R) -> Built {
     };
 
     // Pivots per level 1..=realized (level 0 is trivially "self"; level
-    // `realized` and beyond is unreachable = A_k).
+    // `realized` and beyond is unreachable = A_k). The pivot routines charge
+    // the ledger directly, so the phase span syncs the counter delta.
+    let pivots_span = rec.begin("scheme/pivots");
+    let pivots_entry = ledger.counters();
     let mut pivot_levels: Vec<LevelPivots> = Vec::with_capacity(realized + 1);
     pivot_levels.push(LevelPivots {
         dist: vec![0; n],
@@ -434,8 +479,12 @@ pub fn build<R: Rng>(g: &Graph, params: &BuildParams, rng: &mut R) -> Built {
     while pivot_levels.len() <= realized + 1 {
         pivot_levels.push(LevelPivots::unreachable(n));
     }
+    rec.charge(&ledger.counters().delta_since(&pivots_entry));
+    rec.end_with_memory(pivots_span, memory.peaks());
 
     // Clusters per level.
+    let clusters_span = rec.begin("scheme/clusters");
+    let clusters_entry = ledger.counters();
     let mut trees: Vec<SparseTree> = Vec::new();
     let mut level_stats: Vec<LevelStats> = Vec::new();
     for i in 0..realized {
@@ -445,21 +494,11 @@ pub fn build<R: Rng>(g: &Graph, params: &BuildParams, rng: &mut R) -> Built {
             continue;
         }
         let next = &pivot_levels[i + 1];
-        let (mut lvl_trees, stats) = if !distributed || i < split || virt.is_none() {
-            let mut scratch = CostLedger::new();
-            let led = if distributed { &mut ledger } else { &mut scratch };
-            clusters::exact_clusters(
-                g,
-                &roots,
-                i,
-                &next.dist,
-                pivots::exploration_depth(n, i + 1, k),
-                led,
-                &mut memory,
-            )
-        } else {
-            let virt = virt.as_ref().expect("approx level");
-            let hs = hs.as_ref().expect("approx level");
+        let approx = match (virt.as_ref(), hs.as_ref()) {
+            (Some(virt), Some(hs)) if distributed && i >= split => Some((virt, hs)),
+            _ => None,
+        };
+        let (mut lvl_trees, stats) = if let Some((virt, hs)) = approx {
             clusters::approx_clusters(
                 g,
                 virt,
@@ -473,11 +512,29 @@ pub fn build<R: Rng>(g: &Graph, params: &BuildParams, rng: &mut R) -> Built {
                 &mut ledger,
                 &mut memory,
             )
+        } else {
+            let mut scratch = CostLedger::new();
+            let led = if distributed {
+                &mut ledger
+            } else {
+                &mut scratch
+            };
+            clusters::exact_clusters(
+                g,
+                &roots,
+                i,
+                &next.dist,
+                pivots::exploration_depth(n, i + 1, k),
+                led,
+                &mut memory,
+            )
         };
         beta_used = beta_used.max(stats.beta_used);
         level_stats.push(stats);
         trees.append(&mut lvl_trees);
     }
+    rec.charge(&ledger.counters().delta_since(&clusters_entry));
+    rec.end_with_memory(clusters_span, memory.peaks());
 
     // Overlap s: memberships per vertex.
     let mut overlap = vec![0usize; n];
@@ -492,6 +549,8 @@ pub fn build<R: Rng>(g: &Graph, params: &BuildParams, rng: &mut R) -> Built {
     // Tree-routing stage: one exact tree scheme per cluster tree. In the
     // distributed modes all trees run in parallel with random start offsets
     // (Theorem 2's second assertion): q = 1/√(sn), window = √(sn)·log n.
+    let tree_span = rec.begin("scheme/tree-routing");
+    let tree_entry = ledger.counters();
     let s = max_membership.max(1);
     let q_tree = 1.0 / ((s * n) as f64).sqrt();
     let window = (((s * n) as f64).sqrt() as u64 + 1)
@@ -575,13 +634,13 @@ pub fn build<R: Rng>(g: &Graph, params: &BuildParams, rng: &mut R) -> Built {
         tree_stage_rounds = window + max_finish;
         ledger.charge_rounds(tree_stage_rounds);
     }
+    rec.charge(&ledger.counters().delta_since(&tree_entry));
+    rec.end_with_memory(tree_span, memory.peaks());
 
     // Assemble per-vertex tables.
-    let tree_index: HashMap<VertexId, usize> = trees
-        .iter()
-        .enumerate()
-        .map(|(i, t)| (t.root, i))
-        .collect();
+    let assembly_span = rec.begin("scheme/assembly");
+    let tree_index: HashMap<VertexId, usize> =
+        trees.iter().enumerate().map(|(i, t)| (t.root, i)).collect();
     let mut tables: Vec<RoutingTable> = (0..n).map(|_| RoutingTable::default()).collect();
     for (idx, t) in trees.iter().enumerate() {
         for (&u, info) in &t.members {
@@ -604,11 +663,8 @@ pub fn build<R: Rng>(g: &Graph, params: &BuildParams, rng: &mut R) -> Built {
     // Assemble per-vertex labels.
     let mut labels: Vec<RoutingLabel> = (0..n).map(|_| RoutingLabel::default()).collect();
     for v in g.vertices() {
-        for i in 0..realized {
-            let (pivot, _pdist) = match (
-                pivot_levels[i].pivot[v.index()],
-                pivot_levels[i].dist[v.index()],
-            ) {
+        for (i, lvl) in pivot_levels.iter().enumerate().take(realized) {
+            let (pivot, _pdist) = match (lvl.pivot[v.index()], lvl.dist[v.index()]) {
                 (Some(p), pd) if pd != INFINITY => (p, pd),
                 _ => continue,
             };
@@ -652,11 +708,11 @@ pub fn build<R: Rng>(g: &Graph, params: &BuildParams, rng: &mut R) -> Built {
     for v in g.vertices() {
         memory.add(
             v,
-            tables[v.index()].words()
-                + labels[v.index()].words()
-                + 2 * pivot_info[v.index()].len(),
+            tables[v.index()].words() + labels[v.index()].words() + 2 * pivot_info[v.index()].len(),
         );
     }
+    rec.end_with_memory(assembly_span, memory.peaks());
+    rec.set_run_memory(memory.peaks());
 
     let scheme = RoutingScheme {
         k,
@@ -739,7 +795,11 @@ mod tests {
     #[test]
     fn centralized_mode_reports_zero_rounds() {
         let (g, mut rng) = er(60, 304);
-        let built = build(&g, &BuildParams::new(2).with_mode(Mode::Centralized), &mut rng);
+        let built = build(
+            &g,
+            &BuildParams::new(2).with_mode(Mode::Centralized),
+            &mut rng,
+        );
         assert_eq!(built.report.rounds, 0);
         assert!(built.report.max_table_words > 0);
     }
@@ -752,7 +812,11 @@ mod tests {
         let (g, _) = er(80, 305);
         let mut rng1 = ChaCha8Rng::seed_from_u64(999);
         let mut rng2 = ChaCha8Rng::seed_from_u64(999);
-        let c = build(&g, &BuildParams::new(2).with_mode(Mode::Centralized), &mut rng1);
+        let c = build(
+            &g,
+            &BuildParams::new(2).with_mode(Mode::Centralized),
+            &mut rng1,
+        );
         let d = build(&g, &BuildParams::new(2), &mut rng2);
         assert_eq!(c.trees.len(), d.trees.len());
         // Exact levels coincide exactly.
@@ -813,6 +877,79 @@ mod tests {
             "k=4 memberships {} should be below k=2 {}",
             k4.report.total_membership,
             k2.report.total_membership
+        );
+    }
+
+    #[test]
+    fn observed_build_phases_partition_the_ledger() {
+        let (g, mut rng) = er(120, 310);
+        let mut rec = obs::Recorder::new();
+        let built = build_observed(&g, &BuildParams::new(3), &mut rng, &mut rec);
+        // Every ledger charge is attributed to exactly one top-level phase.
+        assert_eq!(rec.totals().rounds, built.report.rounds);
+        assert_eq!(rec.totals().messages, built.report.messages);
+        let top: Vec<&str> = rec
+            .spans()
+            .iter()
+            .filter(|s| s.depth == 0)
+            .map(|s| s.name.as_str())
+            .collect();
+        assert_eq!(
+            top,
+            [
+                "scheme/backbone",
+                "scheme/hierarchy",
+                "scheme/hopset",
+                "scheme/pivots",
+                "scheme/clusters",
+                "scheme/tree-routing",
+                "scheme/assembly",
+            ]
+        );
+        let sum: u64 = rec
+            .spans()
+            .iter()
+            .filter(|s| s.depth == 0)
+            .map(|s| s.delta.rounds)
+            .sum();
+        assert_eq!(sum, rec.totals().rounds);
+        // The hopset's own spans nest beneath scheme/hopset.
+        let hopset_seq = rec
+            .spans()
+            .iter()
+            .find(|s| s.name == "scheme/hopset")
+            .unwrap()
+            .seq;
+        assert!(rec
+            .spans()
+            .iter()
+            .any(|s| s.parent == Some(hopset_seq) && s.name.starts_with("hopset/")));
+        // The assembly span's memory snapshot is the final peak.
+        assert_eq!(
+            rec.spans().last().unwrap().peak_memory_words,
+            built.report.memory.max_peak()
+        );
+    }
+
+    #[test]
+    fn observed_build_equals_plain_build() {
+        // Same seed, recorder on vs. off: identical scheme and report.
+        let (g, _) = er(90, 311);
+        let mut rng1 = ChaCha8Rng::seed_from_u64(42);
+        let mut rng2 = ChaCha8Rng::seed_from_u64(42);
+        let plain = build(&g, &BuildParams::new(2), &mut rng1);
+        let mut rec = obs::Recorder::new();
+        let observed = build_observed(&g, &BuildParams::new(2), &mut rng2, &mut rec);
+        assert_eq!(plain.report.rounds, observed.report.rounds);
+        assert_eq!(plain.report.messages, observed.report.messages);
+        assert_eq!(
+            plain.report.memory.max_peak(),
+            observed.report.memory.max_peak()
+        );
+        assert_eq!(plain.trees.len(), observed.trees.len());
+        assert_eq!(
+            plain.report.max_table_words,
+            observed.report.max_table_words
         );
     }
 

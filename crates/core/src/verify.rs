@@ -239,9 +239,9 @@ mod tests {
                 if let TreeTableKind::Ours(t) = &mut e.table {
                     if t.parent.is_some() {
                         t.parent = Some(far);
-                        assert!(verify(&g, &s)
-                            .iter()
-                            .any(|x| matches!(x, Violation::BadParent { vertex, .. } if *vertex == v)));
+                        assert!(verify(&g, &s).iter().any(
+                            |x| matches!(x, Violation::BadParent { vertex, .. } if *vertex == v)
+                        ));
                         break 'outer;
                     }
                 }

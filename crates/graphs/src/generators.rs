@@ -100,7 +100,9 @@ pub fn random_geometric_connected<R: Rng>(
     assert!(n > 0);
     assert!(radius > 0.0);
     assert!(*weights.start() > 0, "weights must be positive");
-    let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let pts: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
     let mut b = GraphBuilder::new(n);
     let mut present: HashSet<(u32, u32)> = HashSet::new();
     let r2 = radius * radius;
@@ -223,7 +225,11 @@ pub fn preferential_attachment<R: Rng>(
             targets.insert(t);
         }
         for &t in &targets {
-            b.add_edge(VertexId(v as u32), VertexId(t), random_weight(&weights, rng));
+            b.add_edge(
+                VertexId(v as u32),
+                VertexId(t),
+                random_weight(&weights, rng),
+            );
             urn.push(v as u32);
             urn.push(t);
         }
@@ -253,7 +259,11 @@ pub fn star<R: Rng>(n: usize, weights: RangeInclusive<Weight>, rng: &mut R) -> G
     assert!(*weights.start() > 0, "weights must be positive");
     let mut b = GraphBuilder::new(n);
     for v in 1..n {
-        b.add_edge(VertexId(0), VertexId(v as u32), random_weight(&weights, rng));
+        b.add_edge(
+            VertexId(0),
+            VertexId(v as u32),
+            random_weight(&weights, rng),
+        );
     }
     b.build()
 }

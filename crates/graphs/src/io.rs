@@ -65,8 +65,7 @@ pub fn parse_edge_list(text: &str) -> Result<Graph, ParseGraphError> {
                 .next()
                 .ok_or_else(|| err(line_no, "header missing vertex count".into()))?;
             declared_n = Some(
-                usize::from_str(n)
-                    .map_err(|_| err(line_no, format!("bad vertex count '{n}'")))?,
+                usize::from_str(n).map_err(|_| err(line_no, format!("bad vertex count '{n}'")))?,
             );
             if parts.next().is_some() {
                 return Err(err(line_no, "trailing tokens after header".into()));
@@ -77,11 +76,11 @@ pub fn parse_edge_list(text: &str) -> Result<Graph, ParseGraphError> {
         let v_tok = parts
             .next()
             .ok_or_else(|| err(line_no, "edge missing second endpoint".into()))?;
-        let v =
-            u32::from_str(v_tok).map_err(|_| err(line_no, format!("bad vertex '{v_tok}'")))?;
+        let v = u32::from_str(v_tok).map_err(|_| err(line_no, format!("bad vertex '{v_tok}'")))?;
         let w = match parts.next() {
-            Some(tok) => Weight::from_str(tok)
-                .map_err(|_| err(line_no, format!("bad weight '{tok}'")))?,
+            Some(tok) => {
+                Weight::from_str(tok).map_err(|_| err(line_no, format!("bad weight '{tok}'")))?
+            }
             None => 1,
         };
         if parts.next().is_some() {
@@ -199,8 +198,14 @@ mod tests {
 
     #[test]
     fn rejects_structural_problems() {
-        assert!(parse_edge_list("1 1 4\n").unwrap_err().message.contains("self-loop"));
-        assert!(parse_edge_list("0 1 0\n").unwrap_err().message.contains("zero weight"));
+        assert!(parse_edge_list("1 1 4\n")
+            .unwrap_err()
+            .message
+            .contains("self-loop"));
+        assert!(parse_edge_list("0 1 0\n")
+            .unwrap_err()
+            .message
+            .contains("zero weight"));
         assert!(parse_edge_list("0 1\n1 0 5\n")
             .unwrap_err()
             .message

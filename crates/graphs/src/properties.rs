@@ -53,7 +53,7 @@ pub fn shortest_path_diameter(g: &Graph) -> Option<usize> {
     let mut best = 0usize;
     for s in g.vertices() {
         let (dist, parent) = dijkstra_with_parents(g, s);
-        if dist.iter().any(|&d| d == INFINITY) {
+        if dist.contains(&INFINITY) {
             return None;
         }
         // Hop depth of each vertex in the SPT of s.

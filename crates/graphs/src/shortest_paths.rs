@@ -6,8 +6,8 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use crate::graph::{Graph, VertexId, Weight, INFINITY};
 use crate::dist_add;
+use crate::graph::{Graph, VertexId, Weight, INFINITY};
 
 /// Single-source shortest path distances from `src` (Dijkstra).
 ///
@@ -281,6 +281,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn all_pairs_is_symmetric() {
         let g = diamond();
         let apsp = all_pairs(&g);

@@ -65,8 +65,7 @@ impl BfOutput {
     /// Root provenance for every *host* vertex: the origin of the seed whose
     /// wave won the final exploration (the host's approximate pivot).
     pub fn host_origin(&self, v: VertexId) -> Option<VertexId> {
-        self.last_exploration.origin[v.index()]
-            .and_then(|seed| self.origin[seed.index()])
+        self.last_exploration.origin[v.index()].and_then(|seed| self.origin[seed.index()])
     }
 }
 
@@ -142,8 +141,8 @@ impl<'a> LimitedBf<'a> {
                 if heard < est[x.index()] {
                     est[x.index()] = heard;
                     via[x.index()] = Via::Bounded;
-                    origin[x.index()] = explo.origin[x.index()]
-                        .and_then(|seed| origin_snapshot[seed.index()]);
+                    origin[x.index()] =
+                        explo.origin[x.index()].and_then(|seed| origin_snapshot[seed.index()]);
                     changed = true;
                 }
             }
@@ -174,9 +173,7 @@ impl<'a> LimitedBf<'a> {
                     }
                     // Reverse: e.to's estimate reaches u, provided e.to may
                     // speak (it hears its own edge in u's announcement).
-                    if snapshot[e.to.index()] != INFINITY
-                        && limit(e.to, snapshot[e.to.index()])
-                    {
+                    if snapshot[e.to.index()] != INFINITY && limit(e.to, snapshot[e.to.index()]) {
                         let rev = dist_add(snapshot[e.to.index()], e.weight);
                         if rev < est[u.index()] {
                             est[u.index()] = rev;
@@ -286,10 +283,18 @@ mod tests {
         );
         let empty = Hopset::new(400);
         let root = VertexId(0);
-        let with = LimitedBf { g: &g, virt: &virt, hopset: &built.hopset }
-            .run(&[(root, 0)], &|_, _| true, 500, 5, &mut led, &mut mem);
-        let without = LimitedBf { g: &g, virt: &virt, hopset: &empty }
-            .run(&[(root, 0)], &|_, _| true, 500, 5, &mut led, &mut mem);
+        let with = LimitedBf {
+            g: &g,
+            virt: &virt,
+            hopset: &built.hopset,
+        }
+        .run(&[(root, 0)], &|_, _| true, 500, 5, &mut led, &mut mem);
+        let without = LimitedBf {
+            g: &g,
+            virt: &virt,
+            hopset: &empty,
+        }
+        .run(&[(root, 0)], &|_, _| true, 500, 5, &mut led, &mut mem);
         assert!(
             with.beta_used < without.beta_used,
             "hopset β {} should beat plain β {}",
@@ -313,14 +318,7 @@ mod tests {
         let mut mem = MemoryMeter::new(f.g.num_vertices());
         // A tight limit clips propagation — estimates stay safe (≥ d).
         let exact = shortest_paths::dijkstra(&f.g, root);
-        let out = bf.run(
-            &[(root, 0)],
-            &|_, est| est < 30,
-            50,
-            8,
-            &mut led,
-            &mut mem,
-        );
+        let out = bf.run(&[(root, 0)], &|_, est| est < 30, 50, 8, &mut led, &mut mem);
         for v in f.g.vertices() {
             assert!(out.est[v.index()] >= exact[v.index()]);
         }
@@ -333,7 +331,11 @@ mod tests {
         let verts: Vec<VertexId> = (0..50).map(|i| VertexId(i as u32)).collect();
         let virt = VirtualGraph::from_set(&g, verts, 50);
         let hopset = Hopset::new(50);
-        let bf = LimitedBf { g: &g, virt: &virt, hopset: &hopset };
+        let bf = LimitedBf {
+            g: &g,
+            virt: &virt,
+            hopset: &hopset,
+        };
         let mut led = CostLedger::new();
         let mut mem = MemoryMeter::new(50);
         let out = bf.run(
@@ -371,7 +373,11 @@ mod tests {
             match out.via[x.index()] {
                 Via::Seed => panic!("non-root {x} marked as seed"),
                 Via::Bounded => {}
-                Via::Hopset { owner, index, reversed } => {
+                Via::Hopset {
+                    owner,
+                    index,
+                    reversed,
+                } => {
                     let e = f.hopset.out_edges(owner)[index];
                     // The recorded edge must connect x consistently.
                     if reversed {
@@ -405,7 +411,11 @@ mod tests {
         let g = generators::path(20, 1..=1, &mut rng);
         let virt = VirtualGraph::from_set(&g, vec![VertexId(10)], 20);
         let hopset = Hopset::new(20);
-        let bf = LimitedBf { g: &g, virt: &virt, hopset: &hopset };
+        let bf = LimitedBf {
+            g: &g,
+            virt: &virt,
+            hopset: &hopset,
+        };
         let mut led = CostLedger::new();
         let mut mem = MemoryMeter::new(20);
         let out = bf.run(&[(VertexId(0), 0)], &|_, _| true, 10, 5, &mut led, &mut mem);

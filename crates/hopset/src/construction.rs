@@ -95,6 +95,39 @@ pub fn build<R: Rng>(
     memory: &mut MemoryMeter,
     rng: &mut R,
 ) -> HopsetOutput {
+    build_observed(
+        g,
+        virt,
+        params,
+        d,
+        ledger,
+        memory,
+        rng,
+        &mut obs::Recorder::disabled(),
+    )
+}
+
+/// [`build`], with phase attribution: each level opens
+/// `hopset/L{i}/superclustering` (pivot exploration + hierarchy broadcast)
+/// and `hopset/L{i}/interconnection` (bunch + pivot edges) spans on `rec`,
+/// and the top-level clique opens `hopset/intraconnect`. Every ledger charge
+/// inside those regions is mirrored into the recorder, so span deltas match
+/// the ledger exactly.
+///
+/// # Panics
+///
+/// Panics if `virt` has no virtual vertices.
+#[allow(clippy::too_many_arguments)]
+pub fn build_observed<R: Rng>(
+    g: &Graph,
+    virt: &VirtualGraph,
+    params: HopsetParams,
+    d: u64,
+    ledger: &mut CostLedger,
+    memory: &mut MemoryMeter,
+    rng: &mut R,
+    rec: &mut obs::Recorder,
+) -> HopsetOutput {
     let verts = virt.virtual_vertices();
     assert!(!verts.is_empty(), "virtual graph has no vertices");
     let m = verts.len();
@@ -148,10 +181,13 @@ pub fn build<R: Rng>(
 
     for i in 0..levels {
         // Pivot distances d(·, A_{i+1}) via a multi-source exploration.
+        let super_span = rec.begin(&format!("hopset/L{i}/superclustering"));
         let (piv_dist, piv_owner) = shortest_paths::multi_source_dijkstra(g, &hierarchy[i + 1]);
-        ledger.charge_rounds(virt.b_hops() as u64);
-        ledger.charge_broadcast(hierarchy[i].len() as u64, d);
+        ledger.charge_rounds_span(virt.b_hops() as u64, rec);
+        ledger.charge_broadcast_span(hierarchy[i].len() as u64, d, rec);
+        rec.end_with_memory(super_span, memory.peaks());
 
+        let inter_span = rec.begin(&format!("hopset/L{i}/interconnection"));
         let mut level_edges = 0u64;
         for &u in &hierarchy[i] {
             if member[i + 1][u.index()] {
@@ -177,10 +213,12 @@ pub fn build<R: Rng>(
             }
             memory.set(u, hopset.memory_words(u) + 2 * (levels + 1));
         }
-        ledger.charge_broadcast(level_edges, d);
+        ledger.charge_broadcast_span(level_edges, d, rec);
+        rec.end_with_memory(inter_span, memory.peaks());
     }
 
     // Top level: intraconnect (oriented small-id → large-id).
+    let intra_span = rec.begin("hopset/intraconnect");
     let top = &hierarchy[levels];
     let mut top_edges = 0u64;
     for (j, &u) in top.iter().enumerate() {
@@ -196,8 +234,9 @@ pub fn build<R: Rng>(
         }
         memory.set(u, hopset.memory_words(u) + 2 * (levels + 1));
     }
-    ledger.charge_rounds(virt.b_hops() as u64);
-    ledger.charge_broadcast(top_edges, d);
+    ledger.charge_rounds_span(virt.b_hops() as u64, rec);
+    ledger.charge_broadcast_span(top_edges, d, rec);
+    rec.end_with_memory(intra_span, memory.peaks());
 
     let stats = BuildStats {
         level_sizes: hierarchy.iter().map(Vec::len).collect(),
@@ -228,15 +267,7 @@ mod tests {
     ) -> (HopsetOutput, CostLedger, MemoryMeter) {
         let mut led = CostLedger::new();
         let mut mem = MemoryMeter::new(g.num_vertices());
-        let out = build(
-            g,
-            virt,
-            HopsetParams::default(),
-            8,
-            &mut led,
-            &mut mem,
-            rng,
-        );
+        let out = build(g, virt, HopsetParams::default(), 8, &mut led, &mut mem, rng);
         (out, led, mem)
     }
 
@@ -310,8 +341,24 @@ mod tests {
         let (g, virt, mut rng) = setup(500, 0.4, 65);
         let mut led = CostLedger::new();
         let mut mem = MemoryMeter::new(g.num_vertices());
-        let dense = build(&g, &virt, HopsetParams { levels: 1 }, 8, &mut led, &mut mem, &mut rng);
-        let sparse = build(&g, &virt, HopsetParams { levels: 4 }, 8, &mut led, &mut mem, &mut rng);
+        let dense = build(
+            &g,
+            &virt,
+            HopsetParams { levels: 1 },
+            8,
+            &mut led,
+            &mut mem,
+            &mut rng,
+        );
+        let sparse = build(
+            &g,
+            &virt,
+            HopsetParams { levels: 4 },
+            8,
+            &mut led,
+            &mut mem,
+            &mut rng,
+        );
         assert!(
             sparse.hopset.num_edges() < dense.hopset.num_edges(),
             "levels=4 ({}) should be sparser than levels=1 ({})",
@@ -335,6 +382,47 @@ mod tests {
         let (_, led, _) = build_default(&g, &virt, &mut rng);
         assert!(led.rounds() > 0);
         assert!(led.broadcasts() > 0);
+    }
+
+    #[test]
+    fn observed_build_attributes_every_charge_to_spans() {
+        let (g, virt, mut rng) = setup(150, 0.3, 69);
+        let mut led = CostLedger::new();
+        let mut mem = MemoryMeter::new(g.num_vertices());
+        let mut rec = obs::Recorder::new();
+        let out = build_observed(
+            &g,
+            &virt,
+            HopsetParams::default(),
+            8,
+            &mut led,
+            &mut mem,
+            &mut rng,
+            &mut rec,
+        );
+        // Every ledger charge happened inside a span; totals must agree.
+        assert_eq!(rec.totals(), led.counters());
+        // Spans: superclustering + interconnection per level, + intraconnect.
+        let levels = out.stats.level_sizes.len() - 1;
+        assert_eq!(rec.spans().len(), 2 * levels + 1);
+        assert!(rec.spans().iter().any(|s| s.name == "hopset/intraconnect"));
+        assert!(rec
+            .spans()
+            .iter()
+            .any(|s| s.name == "hopset/L0/superclustering"));
+        // Top-level spans partition the totals.
+        let sum: u64 = rec
+            .spans()
+            .iter()
+            .filter(|s| s.depth == 0)
+            .map(|s| s.delta.rounds)
+            .sum();
+        assert_eq!(sum, led.rounds());
+        // Memory snapshots are monotone toward the final max peak.
+        assert_eq!(
+            rec.spans().last().unwrap().peak_memory_words,
+            mem.max_peak()
+        );
     }
 
     #[test]

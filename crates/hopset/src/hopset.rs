@@ -141,7 +141,10 @@ mod tests {
     #[test]
     fn paths_align_with_edges() {
         let h = sample();
-        assert_eq!(h.path(VertexId(0), 0), &[VertexId(0), VertexId(1), VertexId(2)]);
+        assert_eq!(
+            h.path(VertexId(0), 0),
+            &[VertexId(0), VertexId(1), VertexId(2)]
+        );
         assert_eq!(h.path(VertexId(0), 1), &[VertexId(0), VertexId(3)]);
     }
 
@@ -155,7 +158,11 @@ mod tests {
             sources.sort();
             let before = sources.len();
             sources.dedup();
-            assert_eq!(before, sources.len(), "a vertex has two edges in one forest");
+            assert_eq!(
+                before,
+                sources.len(),
+                "a vertex has two edges in one forest"
+            );
         }
         let total: usize = forests.iter().map(Vec::len).sum();
         assert_eq!(total, h.num_edges());

@@ -63,6 +63,7 @@ impl Recovered {
 /// memory is touched O(1) per improved vertex.
 ///
 /// Returns how many vertices improved.
+#[allow(clippy::too_many_arguments)]
 pub fn recover_edge(
     hopset: &Hopset,
     owner: VertexId,
@@ -128,7 +129,17 @@ mod tests {
         out.seed(VertexId(0), 0);
         let mut led = CostLedger::new();
         let mut mem = MemoryMeter::new(4);
-        let improved = recover_edge(&h, VertexId(0), 0, false, 0, &g, &mut out, &mut led, &mut mem);
+        let improved = recover_edge(
+            &h,
+            VertexId(0),
+            0,
+            false,
+            0,
+            &g,
+            &mut out,
+            &mut led,
+            &mut mem,
+        );
         assert_eq!(improved, 3);
         assert_eq!(out.dist, vec![0, 2, 5, 9]);
         assert_eq!(out.parent[3], Some(VertexId(2)));
@@ -143,7 +154,17 @@ mod tests {
         out.seed(VertexId(3), 10);
         let mut led = CostLedger::new();
         let mut mem = MemoryMeter::new(4);
-        recover_edge(&h, VertexId(0), 0, true, 10, &g, &mut out, &mut led, &mut mem);
+        recover_edge(
+            &h,
+            VertexId(0),
+            0,
+            true,
+            10,
+            &g,
+            &mut out,
+            &mut led,
+            &mut mem,
+        );
         assert_eq!(out.dist, vec![19, 17, 14, 10]);
         assert_eq!(out.parent[0], Some(VertexId(1)));
     }
@@ -156,7 +177,17 @@ mod tests {
         out.offer(VertexId(2), 1, Some(VertexId(3))); // artificially good
         let mut led = CostLedger::new();
         let mut mem = MemoryMeter::new(4);
-        let improved = recover_edge(&h, VertexId(0), 0, false, 0, &g, &mut out, &mut led, &mut mem);
+        let improved = recover_edge(
+            &h,
+            VertexId(0),
+            0,
+            false,
+            0,
+            &g,
+            &mut out,
+            &mut led,
+            &mut mem,
+        );
         assert_eq!(improved, 2); // vertex 2 kept its better value
         assert_eq!(out.dist[2], 1);
         assert_eq!(out.parent[2], Some(VertexId(3)));
@@ -186,7 +217,17 @@ mod tests {
         out.seed(VertexId(0), 0);
         let mut led = CostLedger::new();
         let mut mem = MemoryMeter::new(60);
-        recover_edge(&h, VertexId(0), 0, false, 0, &g, &mut out, &mut led, &mut mem);
+        recover_edge(
+            &h,
+            VertexId(0),
+            0,
+            false,
+            0,
+            &g,
+            &mut out,
+            &mut led,
+            &mut mem,
+        );
         // Walk back from far: parents chain to the seed with consistent dist.
         let mut cur = far;
         while let Some(p) = out.parent[cur.index()] {

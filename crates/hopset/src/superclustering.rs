@@ -55,7 +55,9 @@ pub fn build_sc<R: Rng>(
     let n = g.num_vertices();
     let m = verts.len();
     let levels = params.levels.max(1);
-    let p = (m as f64).powf(-1.0 / (levels as f64 + 1.0)).clamp(0.0, 1.0);
+    let p = (m as f64)
+        .powf(-1.0 / (levels as f64 + 1.0))
+        .clamp(0.0, 1.0);
 
     let mut hopset = Hopset::new(n);
     let mut is_virtual_center = vec![false; n];
@@ -78,7 +80,17 @@ pub fn build_sc<R: Rng>(
     let mut scale: Weight = 1;
     while scale <= max_scale {
         run_scale(
-            g, verts, scale, levels, p, eps, &mut hopset, ledger, memory, d, rng,
+            g,
+            verts,
+            scale,
+            levels,
+            p,
+            eps,
+            &mut hopset,
+            ledger,
+            memory,
+            d,
+            rng,
         );
         level_sizes.push(hopset.num_edges());
         scale = scale.saturating_mul(2);
@@ -134,7 +146,11 @@ fn run_scale<R: Rng>(
         let sampled: Vec<VertexId> = if last {
             Vec::new()
         } else {
-            centers.iter().copied().filter(|_| rng.gen_bool(p)).collect()
+            centers
+                .iter()
+                .copied()
+                .filter(|_| rng.gen_bool(p))
+                .collect()
         };
         ledger.charge_broadcast(centers.len() as u64, d);
         ledger.charge_rounds(r_i.min(g.num_vertices() as u64));
@@ -146,7 +162,10 @@ fn run_scale<R: Rng>(
         }
         // Nearest sampled center for merging.
         let (near_dist, near_owner) = if sampled.is_empty() {
-            (vec![INFINITY; g.num_vertices()], vec![None; g.num_vertices()])
+            (
+                vec![INFINITY; g.num_vertices()],
+                vec![None; g.num_vertices()],
+            )
         } else {
             shortest_paths::multi_source_dijkstra(g, &sampled)
         };
@@ -211,7 +230,7 @@ fn truncated_centers(g: &Graph, c: VertexId, reach: Weight, active: &[bool]) -> 
         }
         for arc in g.neighbors(u) {
             let nd = dd.saturating_add(arc.weight);
-            if nd <= reach && dist.get(&arc.to).map_or(true, |&old| nd < old) {
+            if nd <= reach && dist.get(&arc.to).is_none_or(|&old| nd < old) {
                 dist.insert(arc.to, nd);
                 heap.push(Reverse((nd, arc.to)));
             }

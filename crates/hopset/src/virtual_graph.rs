@@ -202,7 +202,8 @@ mod tests {
         let g = generators::erdos_renyi_connected(60, 0.08, 1..=9, &mut rng);
         let virt = VirtualGraph::from_set(&g, vec![VertexId(0)], 5);
         let (mut led, mut mem) = ledger_and_meter(60);
-        let out = virt.bounded_exploration(&g, &[(VertexId(0), 0)], &|_, _| true, &mut led, &mut mem);
+        let out =
+            virt.bounded_exploration(&g, &[(VertexId(0), 0)], &|_, _| true, &mut led, &mut mem);
         let want = shortest_paths::hop_bounded_distances(&g, VertexId(0), 5);
         assert_eq!(out.dist, want);
         assert_eq!(led.rounds(), 5);

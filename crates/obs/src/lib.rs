@@ -1,0 +1,519 @@
+//! Phase-scoped run tracing for the distributed-routing stack.
+//!
+//! The paper's entire evaluation is measurement — rounds, words, per-vertex
+//! memory — and its analysis attributes those costs to *phases*
+//! (superclustering vs. interconnection, tree-cover build vs. label
+//! dissemination). This crate makes that attribution empirical:
+//!
+//! * [`Recorder`] collects named, nestable [`SpanRecord`]s, each capturing
+//!   the *delta* of [`Counters`] (rounds, messages, words, broadcasts)
+//!   accrued while the span was open, plus a per-vertex peak-memory
+//!   distribution snapshot ([`MemoryDist`]) at the span boundary;
+//! * the engine's round loop feeds a per-round time series of
+//!   [`RoundSample`]s (messages, words, max-edge-words, congestion
+//!   violations) into the recorder;
+//! * [`Recorder::write_report`] serializes everything as JSONL — one record
+//!   per span, an optional `round_series` record, and a trailing
+//!   `run_summary` record — to a path chosen by `--report <path>` or the
+//!   `DRT_REPORT` environment variable (see [`cli`]);
+//! * [`json`] is a dependency-free JSON writer *and* parser, so generated
+//!   reports can be read back and checked (span deltas must sum to the run
+//!   totals) and the bench binaries can emit their tables as JSON.
+//!
+//! A disabled recorder ([`Recorder::disabled`]) makes every operation an
+//! early-returning no-op, so instrumented code paths cost nothing when
+//! reporting is off.
+
+use std::io::{self, Write as _};
+use std::path::Path;
+
+pub mod cli;
+pub mod json;
+
+use json::Value;
+
+/// The additive cost counters every span attributes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Simulated CONGEST rounds.
+    pub rounds: u64,
+    /// Point-to-point messages.
+    pub messages: u64,
+    /// Words carried by those messages (where measured).
+    pub words: u64,
+    /// Lemma-1 broadcast phases.
+    pub broadcasts: u64,
+}
+
+impl Counters {
+    /// All-zero counters.
+    pub const ZERO: Counters = Counters {
+        rounds: 0,
+        messages: 0,
+        words: 0,
+        broadcasts: 0,
+    };
+
+    /// Component-wise `self - earlier`, saturating at zero.
+    pub fn delta_since(&self, earlier: &Counters) -> Counters {
+        Counters {
+            rounds: self.rounds.saturating_sub(earlier.rounds),
+            messages: self.messages.saturating_sub(earlier.messages),
+            words: self.words.saturating_sub(earlier.words),
+            broadcasts: self.broadcasts.saturating_sub(earlier.broadcasts),
+        }
+    }
+
+    /// Component-wise accumulate.
+    pub fn add(&mut self, other: &Counters) {
+        self.rounds += other.rounds;
+        self.messages += other.messages;
+        self.words += other.words;
+        self.broadcasts += other.broadcasts;
+    }
+}
+
+/// Summary statistics of the per-vertex peak-memory distribution, in words.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct MemoryDist {
+    /// Smallest per-vertex peak.
+    pub min: usize,
+    /// Median per-vertex peak.
+    pub median: usize,
+    /// 99th-percentile per-vertex peak.
+    pub p99: usize,
+    /// Largest per-vertex peak — the paper's "memory per vertex".
+    pub max: usize,
+    /// Mean per-vertex peak.
+    pub mean: f64,
+}
+
+impl MemoryDist {
+    /// Distribution summary of `peaks` (one entry per vertex).
+    pub fn from_peaks(peaks: &[usize]) -> MemoryDist {
+        if peaks.is_empty() {
+            return MemoryDist::default();
+        }
+        let mut sorted = peaks.to_vec();
+        sorted.sort_unstable();
+        let n = sorted.len();
+        MemoryDist {
+            min: sorted[0],
+            median: sorted[n / 2],
+            p99: sorted[((n * 99) / 100).min(n - 1)],
+            max: sorted[n - 1],
+            mean: sorted.iter().sum::<usize>() as f64 / n as f64,
+        }
+    }
+
+    fn to_value(self) -> Value {
+        Value::object(vec![
+            ("min", Value::from(self.min as u64)),
+            ("median", Value::from(self.median as u64)),
+            ("p99", Value::from(self.p99 as u64)),
+            ("max", Value::from(self.max as u64)),
+            ("mean", Value::from(self.mean)),
+        ])
+    }
+}
+
+/// One sample of the engine's per-round time series.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RoundSample {
+    /// The round number (1-based; `init` sends land in round 0).
+    pub round: u64,
+    /// Messages delivered this round.
+    pub messages: u64,
+    /// Words delivered this round.
+    pub words: u64,
+    /// Worst per-edge word count observed so far in the run.
+    pub max_edge_words: usize,
+    /// Congestion violations recorded this round.
+    pub congestion_violations: u64,
+}
+
+/// Identifies an open span; returned by [`Recorder::begin`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanId(usize);
+
+impl SpanId {
+    const DISABLED: SpanId = SpanId(usize::MAX);
+}
+
+/// A completed named phase with its attributed cost deltas.
+#[derive(Clone, Debug)]
+pub struct SpanRecord {
+    /// The phase name (slash-separated by convention, e.g. `hopset/L0/superclustering`).
+    pub name: String,
+    /// Position in begin order (also the JSONL `seq` field).
+    pub seq: usize,
+    /// `seq` of the enclosing span, if nested.
+    pub parent: Option<usize>,
+    /// Nesting depth (0 = top level).
+    pub depth: usize,
+    /// Counter deltas accrued while the span was open (children included).
+    pub delta: Counters,
+    /// Max per-vertex peak memory at span end (0 if never snapshotted).
+    pub peak_memory_words: usize,
+    /// Peak-memory distribution snapshot at span end, when provided.
+    pub memory: Option<MemoryDist>,
+    entry: Counters,
+    closed: bool,
+}
+
+/// Collects spans, counters, and the per-round time series for one run.
+#[derive(Clone, Debug, Default)]
+pub struct Recorder {
+    enabled: bool,
+    totals: Counters,
+    spans: Vec<SpanRecord>,
+    open: Vec<usize>,
+    series: Vec<RoundSample>,
+    run_memory: Option<MemoryDist>,
+}
+
+impl Recorder {
+    /// An enabled recorder.
+    pub fn new() -> Recorder {
+        Recorder {
+            enabled: true,
+            ..Recorder::default()
+        }
+    }
+
+    /// A recorder whose every operation is a no-op.
+    pub fn disabled() -> Recorder {
+        Recorder::default()
+    }
+
+    /// An enabled recorder if `on`, else a disabled one.
+    pub fn when(on: bool) -> Recorder {
+        if on {
+            Recorder::new()
+        } else {
+            Recorder::disabled()
+        }
+    }
+
+    /// Whether this recorder is collecting anything.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Open a named span nested under the currently open span (if any).
+    pub fn begin(&mut self, name: &str) -> SpanId {
+        if !self.enabled {
+            return SpanId::DISABLED;
+        }
+        let seq = self.spans.len();
+        self.spans.push(SpanRecord {
+            name: name.to_string(),
+            seq,
+            parent: self.open.last().copied(),
+            depth: self.open.len(),
+            delta: Counters::ZERO,
+            peak_memory_words: 0,
+            memory: None,
+            entry: self.totals,
+            closed: false,
+        });
+        self.open.push(seq);
+        SpanId(seq)
+    }
+
+    /// Close `id` without a memory snapshot.
+    pub fn end(&mut self, id: SpanId) {
+        self.end_span(id, None);
+    }
+
+    /// Close `id`, snapshotting the per-vertex peak-memory distribution.
+    pub fn end_with_memory(&mut self, id: SpanId, peaks: &[usize]) {
+        self.end_span(id, Some(MemoryDist::from_peaks(peaks)));
+    }
+
+    fn end_span(&mut self, id: SpanId, memory: Option<MemoryDist>) {
+        if !self.enabled || id == SpanId::DISABLED {
+            return;
+        }
+        debug_assert_eq!(
+            self.open.last().copied(),
+            Some(id.0),
+            "spans must close innermost-first"
+        );
+        self.open.retain(|&s| s != id.0);
+        let totals = self.totals;
+        let span = &mut self.spans[id.0];
+        span.delta = totals.delta_since(&span.entry);
+        span.memory = memory;
+        span.peak_memory_words = memory.map_or(0, |m| m.max);
+        span.closed = true;
+    }
+
+    /// Attribute `delta` to the currently open span(s) and the run totals.
+    pub fn charge(&mut self, delta: &Counters) {
+        if self.enabled {
+            self.totals.add(delta);
+        }
+    }
+
+    /// Attribute `r` rounds.
+    pub fn charge_rounds(&mut self, r: u64) {
+        if self.enabled {
+            self.totals.rounds += r;
+        }
+    }
+
+    /// Attribute `m` messages carrying `w` words.
+    pub fn charge_messages(&mut self, m: u64, w: u64) {
+        if self.enabled {
+            self.totals.messages += m;
+            self.totals.words += w;
+        }
+    }
+
+    /// Attribute one broadcast phase.
+    pub fn charge_broadcast(&mut self) {
+        if self.enabled {
+            self.totals.broadcasts += 1;
+        }
+    }
+
+    /// Append one engine round to the time series (totals are untouched —
+    /// engine costs reach the totals through ledger charges).
+    pub fn record_round(&mut self, sample: RoundSample) {
+        if self.enabled {
+            self.series.push(sample);
+        }
+    }
+
+    /// Record the end-of-run peak-memory distribution.
+    pub fn set_run_memory(&mut self, peaks: &[usize]) {
+        if self.enabled {
+            self.run_memory = Some(MemoryDist::from_peaks(peaks));
+        }
+    }
+
+    /// Cumulative counters charged so far.
+    pub fn totals(&self) -> Counters {
+        self.totals
+    }
+
+    /// All spans in begin order (open spans have zero deltas until closed).
+    pub fn spans(&self) -> &[SpanRecord] {
+        &self.spans
+    }
+
+    /// The per-round time series.
+    pub fn series(&self) -> &[RoundSample] {
+        &self.series
+    }
+
+    /// Serialize the run as JSONL: one `span` record per closed span (begin
+    /// order), one `round_series` record when the engine hook fired, and a
+    /// trailing `run_summary` carrying the totals plus `extra` fields.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from creating or writing `path`.
+    pub fn write_report(
+        &self,
+        path: impl AsRef<Path>,
+        run_name: &str,
+        extra: &[(&str, Value)],
+    ) -> io::Result<()> {
+        let mut out = io::BufWriter::new(std::fs::File::create(path)?);
+        for span in self.spans.iter().filter(|s| s.closed) {
+            let mut fields = vec![
+                ("type", Value::from("span")),
+                ("seq", Value::from(span.seq as u64)),
+                ("name", Value::from(span.name.as_str())),
+                ("depth", Value::from(span.depth as u64)),
+                (
+                    "parent",
+                    span.parent.map_or(Value::Null, |p| Value::from(p as u64)),
+                ),
+                ("rounds", Value::from(span.delta.rounds)),
+                ("messages", Value::from(span.delta.messages)),
+                ("words", Value::from(span.delta.words)),
+                ("broadcasts", Value::from(span.delta.broadcasts)),
+                (
+                    "peak_memory_words",
+                    Value::from(span.peak_memory_words as u64),
+                ),
+            ];
+            if let Some(m) = span.memory {
+                fields.push(("memory", m.to_value()));
+            }
+            writeln!(out, "{}", Value::object(fields))?;
+        }
+        if !self.series.is_empty() {
+            let samples: Vec<Value> = self
+                .series
+                .iter()
+                .map(|s| {
+                    Value::object(vec![
+                        ("round", Value::from(s.round)),
+                        ("messages", Value::from(s.messages)),
+                        ("words", Value::from(s.words)),
+                        ("max_edge_words", Value::from(s.max_edge_words as u64)),
+                        (
+                            "congestion_violations",
+                            Value::from(s.congestion_violations),
+                        ),
+                    ])
+                })
+                .collect();
+            let record = Value::object(vec![
+                ("type", Value::from("round_series")),
+                ("samples", Value::Array(samples)),
+            ]);
+            writeln!(out, "{record}")?;
+        }
+        let peak = self
+            .run_memory
+            .map(|m| m.max)
+            .or_else(|| self.spans.iter().map(|s| s.peak_memory_words).max())
+            .unwrap_or(0);
+        let mut fields = vec![
+            ("type", Value::from("run_summary")),
+            ("name", Value::from(run_name)),
+            ("rounds", Value::from(self.totals.rounds)),
+            ("messages", Value::from(self.totals.messages)),
+            ("words", Value::from(self.totals.words)),
+            ("broadcasts", Value::from(self.totals.broadcasts)),
+            ("peak_memory_words", Value::from(peak as u64)),
+            (
+                "spans",
+                Value::from(self.spans.iter().filter(|s| s.closed).count() as u64),
+            ),
+        ];
+        if let Some(m) = self.run_memory {
+            fields.push(("memory", m.to_value()));
+        }
+        for (k, v) in extra {
+            fields.push((k, v.clone()));
+        }
+        writeln!(out, "{}", Value::object(fields))?;
+        out.flush()
+    }
+}
+
+/// Parse a JSONL report back into one [`json::Value`] per line.
+///
+/// # Errors
+///
+/// Returns a description of the first I/O or parse failure.
+pub fn read_report(path: impl AsRef<Path>) -> Result<Vec<Value>, String> {
+    let text = std::fs::read_to_string(path.as_ref())
+        .map_err(|e| format!("reading {}: {e}", path.as_ref().display()))?;
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .enumerate()
+        .map(|(i, line)| json::parse(line).map_err(|e| format!("line {}: {e}", i + 1)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_capture_deltas_and_nesting() {
+        let mut rec = Recorder::new();
+        let outer = rec.begin("outer");
+        rec.charge_rounds(5);
+        let inner = rec.begin("inner");
+        rec.charge_messages(3, 9);
+        rec.end_with_memory(inner, &[1, 2, 10]);
+        rec.charge_rounds(2);
+        rec.end(outer);
+
+        let spans = rec.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "outer");
+        assert_eq!(spans[0].depth, 0);
+        assert_eq!(spans[0].parent, None);
+        assert_eq!(spans[0].delta.rounds, 7);
+        assert_eq!(spans[0].delta.messages, 3);
+        assert_eq!(spans[1].name, "inner");
+        assert_eq!(spans[1].depth, 1);
+        assert_eq!(spans[1].parent, Some(0));
+        assert_eq!(spans[1].delta.rounds, 0);
+        assert_eq!(spans[1].delta.words, 9);
+        assert_eq!(spans[1].peak_memory_words, 10);
+        assert_eq!(spans[1].memory.unwrap().median, 2);
+    }
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let mut rec = Recorder::disabled();
+        let id = rec.begin("phase");
+        rec.charge_rounds(100);
+        rec.record_round(RoundSample::default());
+        rec.end(id);
+        assert!(!rec.is_enabled());
+        assert_eq!(rec.totals(), Counters::ZERO);
+        assert!(rec.spans().is_empty());
+        assert!(rec.series().is_empty());
+    }
+
+    #[test]
+    fn memory_dist_percentiles() {
+        let peaks: Vec<usize> = (1..=100).collect();
+        let d = MemoryDist::from_peaks(&peaks);
+        assert_eq!(d.min, 1);
+        assert_eq!(d.median, 51);
+        assert_eq!(d.p99, 100);
+        assert_eq!(d.max, 100);
+        assert!((d.mean - 50.5).abs() < 1e-9);
+        assert_eq!(MemoryDist::from_peaks(&[]), MemoryDist::default());
+    }
+
+    #[test]
+    fn report_round_trips_and_sums() {
+        let mut rec = Recorder::new();
+        for (name, rounds) in [("a", 3u64), ("b", 4), ("c", 5)] {
+            let id = rec.begin(name);
+            rec.charge_rounds(rounds);
+            rec.charge_messages(rounds * 2, rounds * 6);
+            rec.end_with_memory(id, &[rounds as usize, 2 * rounds as usize]);
+        }
+        rec.record_round(RoundSample {
+            round: 1,
+            messages: 7,
+            words: 7,
+            max_edge_words: 2,
+            congestion_violations: 0,
+        });
+        rec.set_run_memory(&[4, 10, 6]);
+
+        let dir = std::env::temp_dir().join("obs-unit-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("report.jsonl");
+        rec.write_report(&path, "unit", &[("k", Value::from(2u64))])
+            .unwrap();
+
+        let records = read_report(&path).unwrap();
+        assert_eq!(records.len(), 5); // 3 spans + series + summary
+        let summary = records.last().unwrap();
+        assert_eq!(summary.get("type").unwrap().as_str(), Some("run_summary"));
+        assert_eq!(summary.get("k").unwrap().as_u64(), Some(2));
+        assert_eq!(summary.get("peak_memory_words").unwrap().as_u64(), Some(10));
+        let top_spans: Vec<&Value> = records
+            .iter()
+            .filter(|r| r.get("type").and_then(Value::as_str) == Some("span"))
+            .filter(|r| r.get("depth").and_then(Value::as_u64) == Some(0))
+            .collect();
+        assert_eq!(top_spans.len(), 3);
+        let sum: u64 = top_spans
+            .iter()
+            .map(|s| s.get("rounds").unwrap().as_u64().unwrap())
+            .sum();
+        assert_eq!(sum, summary.get("rounds").unwrap().as_u64().unwrap());
+        let series = records
+            .iter()
+            .find(|r| r.get("type").and_then(Value::as_str) == Some("round_series"))
+            .unwrap();
+        assert_eq!(series.get("samples").unwrap().as_array().unwrap().len(), 1);
+    }
+}

@@ -412,7 +412,10 @@ pub fn route(
             RouteAction::Forward(next) => {
                 let is_edge = tree.parent(cur) == Some(next) || tree.parent(next) == Some(cur);
                 if !is_edge || scheme.tables[next.index()].is_none() {
-                    return Err(RouteError::BadForward { from: cur, to: next });
+                    return Err(RouteError::BadForward {
+                        from: cur,
+                        to: next,
+                    });
                 }
                 weight += if tree.parent(cur) == Some(next) {
                     tree.parent_weight(cur)
@@ -491,8 +494,8 @@ mod tests {
         let verts: Vec<VertexId> = tree.vertices().collect();
         for &u in &verts {
             for &v in &verts {
-                let trace = route(tree, scheme, u, v)
-                    .unwrap_or_else(|e| panic!("routing {u} -> {v}: {e}"));
+                let trace =
+                    route(tree, scheme, u, v).unwrap_or_else(|e| panic!("routing {u} -> {v}: {e}"));
                 assert_eq!(
                     Some(trace.weight),
                     tree.tree_distance(u, v),

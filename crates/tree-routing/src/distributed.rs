@@ -28,8 +28,8 @@ use congest::{bfs, CostLedger, MemoryMeter, Network};
 use graphs::{RootedTree, VertexId};
 use rand::Rng;
 
-use crate::tz;
 use crate::types::{TreeLabel, TreeScheme, TreeTable};
+use crate::tz;
 
 /// Ceiling of log₂, with `log2_ceil(0) = log2_ceil(1) = 0`.
 pub fn log2_ceil(n: usize) -> usize {
@@ -93,10 +93,7 @@ impl VertexState {
     fn words(&self) -> usize {
         // Scalar fields: membership, roots, sizes, heavy child, range, shifts.
         let scalars = 12;
-        scalars
-            + self.ancestors.len()
-            + 2 * self.light_local.len()
-            + 2 * self.light_global.len()
+        scalars + self.ancestors.len() + 2 * self.light_local.len() + 2 * self.light_global.len()
     }
 }
 
@@ -132,6 +129,25 @@ pub fn build<R: Rng>(
     config: &Config,
     rng: &mut R,
 ) -> DistributedOutput {
+    build_observed(network, tree, config, rng, &mut obs::Recorder::disabled())
+}
+
+/// [`build`], with per-stage span attribution on `rec`: `tree/partition`,
+/// `tree/subtree-sizes` (§3 Stage 1), `tree/light-edges` (Stage 2),
+/// `tree/dfs-ranges` (Stage 3), and `tree/finalize` (plus `tree/backbone`
+/// when no shared BFS backbone is configured). Every ledger charge is
+/// mirrored into the recorder, so span deltas partition the ledger totals.
+///
+/// # Panics
+///
+/// Panics if the tree is empty or its root is outside the host universe.
+pub fn build_observed<R: Rng>(
+    network: &Network,
+    tree: &RootedTree,
+    config: &Config,
+    rng: &mut R,
+    rec: &mut obs::Recorder,
+) -> DistributedOutput {
     let host_n = tree.host_len();
     assert_eq!(host_n, network.len(), "tree host must match network");
     let n = tree.num_vertices();
@@ -147,12 +163,14 @@ pub fn build<R: Rng>(
     let d = match config.backbone_depth {
         Some(depth) => depth as u64,
         None => {
+            let span = rec.begin("tree/backbone");
             let bfs_out = bfs::build_bfs_tree(network, root);
-            ledger.charge_rounds(bfs_out.stats.rounds);
-            ledger.charge_messages(bfs_out.stats.messages);
+            ledger.charge_rounds_span(bfs_out.stats.rounds, rec);
+            ledger.charge_messages_span(bfs_out.stats.messages, rec);
             for v in network.graph().vertices() {
                 memory.add(v, 3); // BFS parent/depth/flag, kept for broadcasts
             }
+            rec.end_with_memory(span, memory.peaks());
             bfs_out.depth as u64
         }
     };
@@ -183,6 +201,7 @@ pub fn build<R: Rng>(
     // ---- Phase 0: partition into local trees -------------------------------
     // Each w ∈ U(T) floods "I am your local root" down, stopping at sampled
     // vertices; runs in max-local-depth rounds, all trees in parallel.
+    let partition_span = rec.begin("tree/partition");
     for &v in &by_depth {
         let i = v.index();
         if st[i].sampled {
@@ -199,7 +218,7 @@ pub fn build<R: Rng>(
         }
     }
     let b = st.iter().map(|s| s.local_depth).max().unwrap_or(0) as u64;
-    ledger.charge_rounds(b + 1);
+    ledger.charge_rounds_span(b + 1, rec);
     let virtual_count = st.iter().filter(|s| s.sampled).count();
     // Virtual-tree depth (simulation statistic only — no vertex stores it).
     let virtual_depth = {
@@ -216,8 +235,10 @@ pub fn build<R: Rng>(
         deepest
     };
     let iters = log2_ceil(n.max(2));
+    rec.end_with_memory(partition_span, memory.peaks());
 
     // ---- Stage 1a: local subtree sizes (convergecast, b rounds) ------------
+    let sizes_span = rec.begin("tree/subtree-sizes");
     for &v in by_depth.iter().rev() {
         let i = v.index();
         let mut s = 1u64;
@@ -228,7 +249,7 @@ pub fn build<R: Rng>(
         }
         st[i].s_local = s;
     }
-    ledger.charge_rounds(b + 1);
+    ledger.charge_rounds_span(b + 1, rec);
 
     // ---- Stage 1b: Algorithm 1 (global subtree sizes by pointer jumping) ---
     let sampled: Vec<VertexId> = tree.vertices().filter(|&v| st[v.index()].sampled).collect();
@@ -239,10 +260,12 @@ pub fn build<R: Rng>(
     }
     for it in 0..iters {
         // Broadcast (x, s_i(x), a_i(x)) for every sampled x: Lemma 1.
-        ledger.charge_broadcast(sampled.len() as u64, d);
+        ledger.charge_broadcast_span(sampled.len() as u64, d, rec);
         // Each x digests the stream message-by-message: O(1) transient words.
-        let snapshot_a: Vec<Option<VertexId>> =
-            sampled.iter().map(|&x| st[x.index()].ancestors[it]).collect();
+        let snapshot_a: Vec<Option<VertexId>> = sampled
+            .iter()
+            .map(|&x| st[x.index()].ancestors[it])
+            .collect();
         let snapshot_s: Vec<u64> = sampled.iter().map(|&x| st[x.index()].s_jump).collect();
         for (k, &x) in sampled.iter().enumerate() {
             memory.touch(x, 3);
@@ -286,7 +309,7 @@ pub fn build<R: Rng>(
     // Sampled vertices already hold their global size; fix their value having
     // been computed bottom-up *after* children (the loop above reads children
     // first, so recompute sampled-rooted sums are already correct).
-    ledger.charge_rounds(b + 1);
+    ledger.charge_rounds_span(b + 1, rec);
 
     // ---- Stage 1d: heavy children (children report sizes; streaming max) ---
     for &v in &by_depth {
@@ -308,12 +331,14 @@ pub fn build<R: Rng>(
         }
         st[i].heavy = best.map(|(_, c)| c);
     }
-    ledger.charge_rounds(1);
+    ledger.charge_rounds_span(1, rec);
     for v in tree.vertices() {
         memory.set(v, st[v.index()].words());
     }
+    rec.end_with_memory(sizes_span, memory.peaks());
 
     // ---- Stage 2a: Algorithm 2 (local light edges) --------------------------
+    let light_span = rec.begin("tree/light-edges");
     // Top-down within each local tree; every vertex receives its parent's
     // list and appends its own edge if it is not the heavy child. The lists
     // are O(log n) words, so the pipelined wave costs b + O(log n) rounds.
@@ -337,7 +362,7 @@ pub fn build<R: Rng>(
         st[i].light_local = list;
         memory.set(v, st[i].words());
     }
-    ledger.charge_rounds(b + iters as u64 + 1);
+    ledger.charge_rounds_span(b + iters as u64 + 1, rec);
 
     // ---- Stage 2b: Algorithm 3 (global light edges by pointer jumping) -----
     // L_0(x) is the just-computed local list (path from p'(x) to x); the root
@@ -351,7 +376,7 @@ pub fn build<R: Rng>(
             .iter()
             .map(|&x| 1 + 2 * st[x.index()].light_global.len() as u64)
             .sum();
-        ledger.charge_broadcast(words, d);
+        ledger.charge_broadcast_span(words, d, rec);
         let snapshot: Vec<Vec<(VertexId, VertexId)>> = sampled
             .iter()
             .map(|&x| st[x.index()].light_global.clone())
@@ -381,14 +406,16 @@ pub fn build<R: Rng>(
         st[i].light_global = list;
         memory.set(v, st[i].words());
     }
-    ledger.charge_rounds(b + iters as u64 + 1);
+    ledger.charge_rounds_span(b + iters as u64 + 1, rec);
+    rec.end_with_memory(light_span, memory.peaks());
 
     // ---- Stage 3a: Algorithms 4 + 5 (local DFS with range partition) -------
     // Algorithm 5 runs once, in parallel for every internal vertex: each
     // child y_j learns the prefix sum S(y_j) of its elder siblings' global
     // sizes in 2·log n rounds with O(1) memory per vertex. The DFS wave then
     // needs only the parent's range start (1 word to all children).
-    ledger.charge_rounds(2 * iters as u64);
+    let ranges_span = rec.begin("tree/dfs-ranges");
+    ledger.charge_rounds_span(2 * iters as u64, rec);
     // prefix[c] = sum of s_global over elder siblings of c (exclusive).
     let mut prefix = vec![0u64; host_n];
     for &v in &by_depth {
@@ -421,14 +448,14 @@ pub fn build<R: Rng>(
             }
         }
     }
-    ledger.charge_rounds(b + 1);
+    ledger.charge_rounds_span(b + 1, rec);
 
     // ---- Stage 3b: Algorithm 6 (global shifts by pointer jumping) ----------
     for &x in &sampled {
         st[x.index()].shift = st[x.index()].q_shift;
     }
     for it in 0..iters {
-        ledger.charge_broadcast(sampled.len() as u64, d);
+        ledger.charge_broadcast_span(sampled.len() as u64, d, rec);
         let snapshot: Vec<u64> = sampled.iter().map(|&x| st[x.index()].shift).collect();
         for (k, &x) in sampled.iter().enumerate() {
             if let Some(a) = st[x.index()].ancestors[it] {
@@ -448,8 +475,10 @@ pub fn build<R: Rng>(
         }
         memory.set(v, st[i].words());
     }
-    ledger.charge_rounds(b + 1);
+    ledger.charge_rounds_span(b + 1, rec);
+    rec.end_with_memory(ranges_span, memory.peaks());
 
+    let finalize_span = rec.begin("tree/finalize");
     let mut scheme = TreeScheme::new(host_n);
     for v in tree.vertices() {
         let i = v.index();
@@ -466,6 +495,7 @@ pub fn build<R: Rng>(
             light: st[i].light_global.clone(),
         });
     }
+    rec.end_with_memory(finalize_span, memory.peaks());
 
     DistributedOutput {
         scheme,
@@ -479,7 +509,11 @@ pub fn build<R: Rng>(
 }
 
 /// Convenience: build with the default `q = 1/√n` and compare-ready output.
-pub fn build_default<R: Rng>(network: &Network, tree: &RootedTree, rng: &mut R) -> DistributedOutput {
+pub fn build_default<R: Rng>(
+    network: &Network,
+    tree: &RootedTree,
+    rng: &mut R,
+) -> DistributedOutput {
     build(network, tree, &Config::default(), rng)
 }
 
@@ -492,16 +526,8 @@ pub fn build_default<R: Rng>(network: &Network, tree: &RootedTree, rng: &mut R) 
 pub fn assert_matches_centralized(tree: &RootedTree, out: &DistributedOutput) {
     let want = tz::build(tree);
     for v in tree.vertices() {
-        assert_eq!(
-            out.scheme.table(v),
-            want.table(v),
-            "table mismatch at {v}"
-        );
-        assert_eq!(
-            out.scheme.label(v),
-            want.label(v),
-            "label mismatch at {v}"
-        );
+        assert_eq!(out.scheme.table(v), want.table(v), "table mismatch at {v}");
+        assert_eq!(out.scheme.label(v), want.label(v), "label mismatch at {v}");
     }
 }
 
@@ -562,11 +588,27 @@ mod tests {
     fn q_extremes_still_correct() {
         let (net, t, mut rng) = setup(60, 10);
         // q = 0: only the root is virtual (single local tree).
-        let out0 = build(&net, &t, &Config { q: Some(0.0), ..Config::default() }, &mut rng);
+        let out0 = build(
+            &net,
+            &t,
+            &Config {
+                q: Some(0.0),
+                ..Config::default()
+            },
+            &mut rng,
+        );
         assert_matches_centralized(&t, &out0);
         assert_eq!(out0.virtual_count, 1);
         // q = 1: every vertex is virtual (local trees are single vertices).
-        let out1 = build(&net, &t, &Config { q: Some(1.0), ..Config::default() }, &mut rng);
+        let out1 = build(
+            &net,
+            &t,
+            &Config {
+                q: Some(1.0),
+                ..Config::default()
+            },
+            &mut rng,
+        );
         assert_matches_centralized(&t, &out1);
         assert_eq!(out1.virtual_count, t.num_vertices());
         assert_eq!(out1.max_local_depth, 0);
@@ -638,7 +680,15 @@ mod tests {
     #[test]
     fn virtual_count_tracks_q() {
         let (net, t, mut rng) = setup(500, 16);
-        let out = build(&net, &t, &Config { q: Some(0.1), ..Config::default() }, &mut rng);
+        let out = build(
+            &net,
+            &t,
+            &Config {
+                q: Some(0.1),
+                ..Config::default()
+            },
+            &mut rng,
+        );
         let expected = 0.1 * 500.0;
         assert!(
             (out.virtual_count as f64) > expected / 3.0
@@ -646,6 +696,34 @@ mod tests {
             "virtual count {} far from {}",
             out.virtual_count,
             expected
+        );
+    }
+
+    #[test]
+    fn observed_build_spans_partition_ledger() {
+        let (net, t, mut rng) = setup(150, 18);
+        let mut rec = obs::Recorder::new();
+        let out = build_observed(&net, &t, &Config::default(), &mut rng, &mut rec);
+        assert_matches_centralized(&t, &out);
+        // Every charge happened inside a top-level stage span.
+        assert_eq!(rec.totals(), out.ledger.counters());
+        let names: Vec<&str> = rec.spans().iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "tree/backbone",
+                "tree/partition",
+                "tree/subtree-sizes",
+                "tree/light-edges",
+                "tree/dfs-ranges",
+                "tree/finalize",
+            ]
+        );
+        let sum: u64 = rec.spans().iter().map(|s| s.delta.rounds).sum();
+        assert_eq!(sum, out.ledger.rounds());
+        assert_eq!(
+            rec.spans().last().unwrap().peak_memory_words,
+            out.memory.max_peak()
         );
     }
 

@@ -172,7 +172,9 @@ mod tests {
         // 8-byte-per-word budget.
         let label = TreeLabel {
             enter: 500,
-            light: (0..8).map(|i| (VertexId(i * 2), VertexId(i * 2 + 1))).collect(),
+            light: (0..8)
+                .map(|i| (VertexId(i * 2), VertexId(i * 2 + 1)))
+                .collect(),
         };
         let bytes = encode_label(&label);
         let naive = 8 * (1 + 2 * 8);

@@ -112,10 +112,7 @@ impl VertexProtocol for Stage1Vertex {
         }
         // Send the size up once everything below has reported and we know
         // our local tree.
-        if !self.sent_up
-            && self.local_root.is_some()
-            && self.pending_children == 0
-            && !self.sampled
+        if !self.sent_up && self.local_root.is_some() && self.pending_children == 0 && !self.sampled
         {
             if let Some(p) = self.parent {
                 ctx.send(p, Stage1Msg::Size(self.acc));
@@ -125,9 +122,7 @@ impl VertexProtocol for Stage1Vertex {
     }
 
     fn is_done(&self) -> bool {
-        !self.in_tree
-            || self.sampled
-            || (self.sent_up || self.parent.is_none())
+        !self.in_tree || self.sampled || (self.sent_up || self.parent.is_none())
     }
 
     fn memory_words(&self) -> usize {
@@ -236,7 +231,7 @@ pub fn validate_stage1<R: Rng>(
                 .map(|&(_, _, p)| p)
                 .expect("gossip delivered everywhere");
             let a_raw = packed >> 32;
-            let a = (a_raw != (u64::MAX >> 32)).then(|| VertexId(a_raw as u32));
+            let a = (a_raw != (u64::MAX >> 32)).then_some(VertexId(a_raw as u32));
             (a, packed & 0xffff_ffff)
         };
         let snapshot_a = a.clone();
@@ -367,7 +362,12 @@ pub fn validate_stage2<R: Rng>(
         for &x in &sampled {
             let ptr = a[x.index()].map_or(u64::MAX, |p| u64::from(p.0));
             items[x.index()].push((0, ptr));
-            for (j, &(p, c)) in lists[x.index()].as_ref().expect("sampled").iter().enumerate() {
+            for (j, &(p, c)) in lists[x.index()]
+                .as_ref()
+                .expect("sampled")
+                .iter()
+                .enumerate()
+            {
                 items[x.index()].push((j as u32 + 1, (u64::from(p.0) << 32) | u64::from(c.0)));
             }
         }
@@ -378,7 +378,7 @@ pub fn validate_stage2<R: Rng>(
         let ptr_of = |v: VertexId| -> Option<VertexId> {
             view.iter()
                 .find(|&&(o, seq, _)| o == v && seq == 0)
-                .and_then(|&(_, _, p)| (p != u64::MAX).then(|| VertexId(p as u32)))
+                .and_then(|&(_, _, p)| (p != u64::MAX).then_some(VertexId(p as u32)))
         };
         let list_of = |v: VertexId| -> Vec<(VertexId, VertexId)> {
             let mut es: Vec<(u32, u64)> = view

@@ -43,8 +43,8 @@ pub mod encode;
 pub mod engine_validation;
 pub mod multi;
 pub mod router;
-pub mod tz;
 pub mod types;
+pub mod tz;
 
 pub use router::{route, RouteError, RouteTrace};
 pub use types::{RouteAction, TreeLabel, TreeScheme, TreeTable};

@@ -89,9 +89,7 @@ pub fn route(
     if scheme.table(src).is_none() {
         return Err(RouteError::SourceNotInTree(src));
     }
-    let label = scheme
-        .label(dst)
-        .ok_or(RouteError::TargetNotInTree(dst))?;
+    let label = scheme.label(dst).ok_or(RouteError::TargetNotInTree(dst))?;
     let mut path = vec![src];
     let mut weight = 0;
     let mut cur = src;
@@ -100,7 +98,9 @@ pub fn route(
         if path.len() > cap {
             return Err(RouteError::Loop);
         }
-        let table = scheme.table(cur).expect("current vertex always has a table");
+        let table = scheme
+            .table(cur)
+            .expect("current vertex always has a table");
         match route_step(cur, table, label) {
             None => return Err(RouteError::Stuck(cur)),
             Some(RouteAction::Deliver) => {
@@ -110,7 +110,10 @@ pub fn route(
                 // Validate the hop is a genuine tree edge.
                 let is_edge = tree.parent(cur) == Some(next) || tree.parent(next) == Some(cur);
                 if !is_edge || scheme.table(next).is_none() {
-                    return Err(RouteError::BadForward { from: cur, to: next });
+                    return Err(RouteError::BadForward {
+                        from: cur,
+                        to: next,
+                    });
                 }
                 let w = if tree.parent(cur) == Some(next) {
                     tree.parent_weight(cur)

@@ -13,14 +13,9 @@ use crate::types::{TreeLabel, TreeScheme, TreeTable};
 /// broken toward the smaller vertex id. Deterministic so the distributed
 /// construction can match it exactly.
 pub(crate) fn heavy_child(tree: &RootedTree, sizes: &[usize], v: VertexId) -> Option<VertexId> {
-    tree.children(v)
-        .iter()
-        .copied()
-        .max_by(|a, b| {
-            sizes[a.index()]
-                .cmp(&sizes[b.index()])
-                .then(b.cmp(a)) // ties: prefer the smaller id
-        })
+    tree.children(v).iter().copied().max_by(|a, b| {
+        sizes[a.index()].cmp(&sizes[b.index()]).then(b.cmp(a)) // ties: prefer the smaller id
+    })
 }
 
 /// Build the Thorup–Zwick scheme for `tree` centrally.
@@ -75,8 +70,7 @@ pub fn build(tree: &RootedTree) -> TreeScheme {
                     .as_ref()
                     .expect("preorder guarantees parent labeled first");
                 let mut l = parent_label.light.clone();
-                let parent_heavy =
-                    heavy_child(tree, &sizes, p).expect("parent of v has children");
+                let parent_heavy = heavy_child(tree, &sizes, p).expect("parent of v has children");
                 if parent_heavy != v {
                     l.push((p, v));
                 }
@@ -216,10 +210,7 @@ mod tests {
         let t = path_tree(8, &ids(8), 1);
         let sizes = t.subtree_sizes();
         for v in 0..7u32 {
-            assert_eq!(
-                heavy_child(&t, &sizes, VertexId(v)),
-                Some(VertexId(v + 1))
-            );
+            assert_eq!(heavy_child(&t, &sizes, VertexId(v)), Some(VertexId(v + 1)));
         }
     }
 

@@ -29,15 +29,16 @@ fn main() {
         .map(|&c| tree::shortest_path_tree(&g, VertexId(c)))
         .collect();
     let s = trees.len();
-    println!(
-        "torus fabric {rows}x{cols} (n = {n}), {s} services, every switch in all {s} trees"
-    );
+    println!("torus fabric {rows}x{cols} (n = {n}), {s} services, every switch in all {s} trees");
 
     // Parallel construction (Theorem 2, second assertion).
     let par = multi::build_many(&net, &trees, s, &mut rng);
     println!("\nparallel construction (q = 1/sqrt(s*n), random offsets):");
     println!("  rounds            : {}", par.ledger.rounds());
-    println!("  memory per switch : {} words (O(s log n))", par.memory.max_peak());
+    println!(
+        "  memory per switch : {} words (O(s log n))",
+        par.memory.max_peak()
+    );
     println!("  observed overlap  : {}", par.observed_overlap);
 
     // Naive alternative: build each tree independently, one after another.

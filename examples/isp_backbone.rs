@@ -25,7 +25,10 @@ fn main() {
         g.num_edges(),
         properties::hop_diameter(&g)
     );
-    println!("\n{:<28} {:>8} {:>8} {:>8} {:>9} {:>10}", "scheme", "table", "label", "memory", "rounds", "stretch");
+    println!(
+        "\n{:<28} {:>8} {:>8} {:>8} {:>9} {:>10}",
+        "scheme", "table", "label", "memory", "rounds", "stretch"
+    );
 
     let srcs: Vec<VertexId> = (0..n as u32).step_by(60).map(VertexId).collect();
     for (name, mode) in [
@@ -47,6 +50,9 @@ fn main() {
             stats.max,
         );
     }
-    println!("\n(table/label/memory in words; stretch is the max over {} routed pairs;", srcs.len() * (n - 1));
+    println!(
+        "\n(table/label/memory in words; stretch is the max over {} routed pairs;",
+        srcs.len() * (n - 1)
+    );
     println!(" the centralized row reports 0 rounds — it is the reference, not a protocol)");
 }

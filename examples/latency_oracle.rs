@@ -34,7 +34,12 @@ fn main() {
 
     // Compare the three access paths on sampled pairs.
     let pairs: Vec<(VertexId, VertexId)> = (0..12)
-        .map(|i| (VertexId(i * 41 % n as u32), VertexId((i * 97 + 13) % n as u32)))
+        .map(|i| {
+            (
+                VertexId(i * 41 % n as u32),
+                VertexId((i * 97 + 13) % n as u32),
+            )
+        })
         .filter(|(a, b)| a != b)
         .collect();
     println!(
@@ -47,9 +52,8 @@ fn main() {
         let exact = shortest_paths::dijkstra(&g, s)[t.index()];
         let est = oracle.query(s, t);
         let routed = router::route(&g, &built.scheme, s, t).expect("connected");
-        let shake =
-            router::route_with(&g, &built.scheme, s, t, router::Selection::Handshake)
-                .expect("connected");
+        let shake = router::route_with(&g, &built.scheme, s, t, router::Selection::Handshake)
+            .expect("connected");
         worst_oracle = worst_oracle.max(est as f64 / exact as f64);
         worst_route = worst_route.max(routed.weight as f64 / exact as f64);
         println!(

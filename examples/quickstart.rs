@@ -29,7 +29,10 @@ fn main() {
     println!("  max table size           : {} words", r.max_table_words);
     println!("  max label size           : {} words", r.max_label_words);
     println!("  cluster memberships s    : {}", r.max_membership);
-    println!("  hopset edges / arboricity: {} / {}", r.hopset_edges, r.hopset_arboricity);
+    println!(
+        "  hopset edges / arboricity: {} / {}",
+        r.hopset_edges, r.hopset_arboricity
+    );
     println!("  empirical hop bound beta : {}", r.beta_used);
 
     // Routing phase: send a few messages and report their stretch.

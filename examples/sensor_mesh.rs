@@ -35,16 +35,33 @@ fn main() {
     distributed::assert_matches_centralized(&t, &ours);
     println!("\nthis paper (Theorem 2):");
     println!("  rounds           : {}", ours.ledger.rounds());
-    println!("  memory per vertex: {} words (O(log n))", ours.memory.max_peak());
-    println!("  table / label    : {} / {} words", ours.scheme.max_table_words(), ours.scheme.max_label_words());
-    println!("  sampled |U(T)|   : {}, local depth b = {}", ours.virtual_count, ours.max_local_depth);
+    println!(
+        "  memory per vertex: {} words (O(log n))",
+        ours.memory.max_peak()
+    );
+    println!(
+        "  table / label    : {} / {} words",
+        ours.scheme.max_table_words(),
+        ours.scheme.max_label_words()
+    );
+    println!(
+        "  sampled |U(T)|   : {}, local depth b = {}",
+        ours.virtual_count, ours.max_local_depth
+    );
 
     // The prior construction ([LP15]/[EN16b]-style).
     let prior = baseline::build(&net, &t, None, &mut rng);
     println!("\nprior approach:");
     println!("  rounds           : {}", prior.ledger.rounds());
-    println!("  memory per vertex: {} words (Ω(√n) at virtual vertices)", prior.memory.max_peak());
-    println!("  table / label    : {} / {} words", prior.scheme.max_table_words(), prior.scheme.max_label_words());
+    println!(
+        "  memory per vertex: {} words (Ω(√n) at virtual vertices)",
+        prior.memory.max_peak()
+    );
+    println!(
+        "  table / label    : {} / {} words",
+        prior.scheme.max_table_words(),
+        prior.scheme.max_label_words()
+    );
 
     // Route sensor readings from a few motes to the sink and back.
     println!("\nrouting checks (exact by construction):");

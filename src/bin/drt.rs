@@ -13,28 +13,31 @@
 //! ```
 //!
 //! Graph files use the [`graphs::io`] edge-list format.
+//!
+//! `drt build` additionally accepts `--report <path>` (or the `DRT_REPORT`
+//! environment variable) to write a JSONL run report of the construction's
+//! phase spans alongside the scheme file.
 
 use std::process::ExitCode;
 
 use graphs::{generators, io, properties, shortest_paths, Graph, VertexId};
+use obs::json::Value;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use routing::oracle::DistanceOracle;
-use routing::{build, persist, router, BuildParams};
+use routing::{build_observed, persist, router, BuildParams};
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (opts, args) = obs::cli::ReportOptions::from_env();
     let result = match args.first().map(String::as_str) {
         Some("generate") => cmd_generate(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
-        Some("build") => cmd_build(&args[1..]),
+        Some("build") => cmd_build(&args[1..], &opts),
         Some("route") => cmd_route(&args[1..], false),
         Some("query") => cmd_route(&args[1..], true),
         Some("stretch") => cmd_stretch(&args[1..]),
         _ => {
-            eprintln!(
-                "usage: drt <generate|info|build|route|query|stretch> ... (see crate docs)"
-            );
+            eprintln!("usage: drt <generate|info|build|route|query|stretch> ... (see crate docs)");
             return ExitCode::FAILURE;
         }
     };
@@ -53,13 +56,14 @@ fn load_graph(path: &str) -> Result<Graph, String> {
 }
 
 fn parse_vertex(g: &Graph, tok: &str) -> Result<VertexId, String> {
-    let raw: u32 = tok
-        .parse()
-        .map_err(|_| format!("bad vertex id '{tok}'"))?;
+    let raw: u32 = tok.parse().map_err(|_| format!("bad vertex id '{tok}'"))?;
     if (raw as usize) < g.num_vertices() {
         Ok(VertexId(raw))
     } else {
-        Err(format!("vertex {raw} out of range (n = {})", g.num_vertices()))
+        Err(format!(
+            "vertex {raw} out of range (n = {})",
+            g.num_vertices()
+        ))
     }
 }
 
@@ -115,25 +119,43 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_build(args: &[String]) -> Result<(), String> {
+fn cmd_build(args: &[String], opts: &obs::cli::ReportOptions) -> Result<(), String> {
     let [graph_path, k, out_path] = args else {
-        return Err("build <graph-file> <k> <out-file>".into());
+        return Err("build <graph-file> <k> <out-file> [--report <path>]".into());
     };
     let g = load_graph(graph_path)?;
     let k: usize = k.parse().map_err(|_| format!("bad k '{k}'"))?;
     if k < 2 {
         return Err("k must be at least 2".into());
     }
+    let mut rec = obs::Recorder::when(opts.reporting());
     let mut rng = ChaCha8Rng::seed_from_u64(0xD27);
-    let built = build(&g, &BuildParams::new(k), &mut rng);
+    let span = rec.begin("drt/build");
+    let built = build_observed(&g, &BuildParams::new(k), &mut rng, &mut rec);
+    rec.end_with_memory(span, built.report.memory.peaks());
     let bytes = persist::encode_scheme(&built.scheme).map_err(|e| e.to_string())?;
     std::fs::write(out_path, &bytes).map_err(|e| format!("writing {out_path}: {e}"))?;
     let r = &built.report;
     println!("built k = {k} scheme for n = {}:", g.num_vertices());
     println!("  simulated rounds  : {}", r.rounds);
     println!("  peak memory       : {} words/vertex", r.memory.max_peak());
-    println!("  max table / label : {} / {} words", r.max_table_words, r.max_label_words);
+    println!(
+        "  max table / label : {} / {} words",
+        r.max_table_words, r.max_label_words
+    );
     println!("  saved             : {} bytes -> {out_path}", bytes.len());
+    if let Some(path) = &opts.report {
+        rec.write_report(
+            path,
+            "drt-build",
+            &[
+                ("n", Value::from(g.num_vertices())),
+                ("k", Value::from(k)),
+                ("graph", Value::from(graph_path.as_str())),
+            ],
+        )
+        .map_err(|e| format!("writing report {}: {e}", path.display()))?;
+    }
     Ok(())
 }
 
@@ -190,10 +212,12 @@ fn cmd_stretch(args: &[String]) -> Result<(), String> {
         .unwrap_or(8);
     let step = (g.num_vertices() / sources.max(1)).max(1);
     let srcs: Vec<VertexId> = g.vertices().step_by(step).collect();
-    let stats =
-        router::measure_stretch(&g, &scheme, &srcs, router::Selection::SourceOptimal);
+    let stats = router::measure_stretch(&g, &scheme, &srcs, router::Selection::SourceOptimal);
     println!("stretch over {} pairs:", stats.pairs);
-    println!("  mean {:.4}  p50 {:.3}  p95 {:.3}  p99 {:.3}  max {:.3}", stats.mean, stats.p50, stats.p95, stats.p99, stats.max);
+    println!(
+        "  mean {:.4}  p50 {:.3}  p95 {:.3}  p99 {:.3}  max {:.3}",
+        stats.mean, stats.p50, stats.p95, stats.p99, stats.max
+    );
     println!("  mean hops {:.1}", stats.mean_hops);
     Ok(())
 }

@@ -15,8 +15,7 @@ fn check_stretch(g: &graphs::Graph, k: usize, seed: u64) -> f64 {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let built = build(g, &BuildParams::new(k), &mut rng);
     let srcs = sample_sources(g.num_vertices(), 7);
-    let stats =
-        router::measure_stretch(g, &built.scheme, &srcs, router::Selection::SourceOptimal);
+    let stats = router::measure_stretch(g, &built.scheme, &srcs, router::Selection::SourceOptimal);
     assert!(
         stats.max <= (4 * k - 3) as f64 + 0.5,
         "stretch {} above 4k-3+o(1) for k={k}",
@@ -105,7 +104,11 @@ fn our_sizes_match_centralized_reference() {
     let g = generators::erdos_renyi_connected(200, 0.03, 1..=9, &mut rng);
     let mut rng1 = ChaCha8Rng::seed_from_u64(13);
     let mut rng2 = ChaCha8Rng::seed_from_u64(13);
-    let central = build(&g, &BuildParams::new(2).with_mode(Mode::Centralized), &mut rng1);
+    let central = build(
+        &g,
+        &BuildParams::new(2).with_mode(Mode::Centralized),
+        &mut rng1,
+    );
     let ours = build(&g, &BuildParams::new(2), &mut rng2);
     // Exact levels coincide, so sizes should be very close; never larger by
     // more than the approximate-cluster slack.
@@ -204,7 +207,10 @@ fn standard_congest_rounding_preserves_stretch() {
         }
     }
     let bound = ((4 * k - 3) as f64 + 0.5) * (1.0 + eps) * (1.0 + eps);
-    assert!(worst <= bound, "rounded-graph stretch {worst} above {bound}");
+    assert!(
+        worst <= bound,
+        "rounded-graph stretch {worst} above {bound}"
+    );
     // And the rounded instance's weights fit in few bits.
     assert!(rounded.bits_per_weight <= 9);
 }

@@ -33,9 +33,7 @@ fn tree_label_with_bogus_light_edge_errors() {
     // or deliver to the wrong vertex.
     match tree_router::route(&t, &s2, VertexId(7), victim) {
         Ok(trace) => assert_eq!(*trace.path.last().unwrap(), victim),
-        Err(
-            RouteError::BadForward { .. } | RouteError::Stuck(_) | RouteError::Loop,
-        ) => {}
+        Err(RouteError::BadForward { .. } | RouteError::Stuck(_) | RouteError::Loop) => {}
         Err(e) => panic!("unexpected error kind: {e}"),
     }
 }
@@ -70,9 +68,7 @@ fn tree_table_with_wrong_heavy_child_cannot_misdeliver() {
     for target in t.vertices().take(10) {
         match tree_router::route(&t, &s2, t.root(), target) {
             Ok(trace) => assert_eq!(*trace.path.last().unwrap(), target),
-            Err(
-                RouteError::BadForward { .. } | RouteError::Loop | RouteError::Stuck(_),
-            ) => {}
+            Err(RouteError::BadForward { .. } | RouteError::Loop | RouteError::Stuck(_)) => {}
             Err(e) => panic!("unexpected error: {e}"),
         }
     }
@@ -127,10 +123,7 @@ fn forged_forwarding_to_non_neighbor_is_caught() {
     // router validates each hop against the graph.
     let (t, s) = tree_fixture();
     let mut s2 = s.clone();
-    let leafy = t
-        .vertices()
-        .find(|&v| t.children(v).is_empty())
-        .unwrap();
+    let leafy = t.vertices().find(|&v| t.children(v).is_empty()).unwrap();
     let mut table = s2.tables[leafy.index()].clone().unwrap();
     table.parent = Some(leafy); // self-parent: never a valid hop
     s2.tables[leafy.index()] = Some(table);

@@ -1,0 +1,119 @@
+//! End-to-end observability: build a scheme under a live recorder, write the
+//! JSONL run report, parse it back, and check the accounting invariants the
+//! report format promises — every record well-formed, depth-0 span deltas
+//! partitioning the run totals, and the summary matching the build's ledger.
+
+use obs::json::Value;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use routing::{build, build_observed, BuildParams};
+
+fn generated_report() -> (Vec<Value>, routing::Built) {
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let g = graphs::generators::erdos_renyi_connected(96, 0.07, 1..=9, &mut rng);
+    let mut rec = obs::Recorder::new();
+    let span = rec.begin("test/build");
+    let built = build_observed(&g, &BuildParams::new(2), &mut rng, &mut rec);
+    rec.end_with_memory(span, built.report.memory.peaks());
+
+    let path = std::env::temp_dir().join(format!("drt-obs-test-{}.jsonl", std::process::id()));
+    rec.write_report(&path, "observability-test", &[("n", Value::from(96usize))])
+        .expect("report written");
+    let records = obs::read_report(&path).expect("report parses as JSONL");
+    std::fs::remove_file(&path).ok();
+    (records, built)
+}
+
+fn get_u64(v: &Value, key: &str) -> u64 {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .unwrap_or_else(|| panic!("missing numeric field '{key}' in {v}"))
+}
+
+#[test]
+fn report_spans_partition_run_totals() {
+    let (records, built) = generated_report();
+    assert!(records.len() >= 2, "at least one span and a summary");
+
+    let summary = records.last().unwrap();
+    assert_eq!(
+        summary.get("type").and_then(Value::as_str),
+        Some("run_summary")
+    );
+    assert_eq!(
+        summary.get("name").and_then(Value::as_str),
+        Some("observability-test")
+    );
+    assert_eq!(get_u64(summary, "n"), 96, "extra fields pass through");
+
+    // The summary's totals are the ledger's: the observed build mirrors every
+    // charge into the recorder exactly once.
+    assert_eq!(get_u64(summary, "rounds"), built.report.rounds);
+    assert_eq!(
+        get_u64(summary, "peak_memory_words") as usize,
+        built.report.memory.max_peak()
+    );
+
+    let spans: Vec<&Value> = records
+        .iter()
+        .filter(|r| r.get("type").and_then(Value::as_str) == Some("span"))
+        .collect();
+    assert_eq!(get_u64(summary, "spans") as usize, spans.len());
+
+    // Every span record carries the full delta set.
+    for s in &spans {
+        for key in ["seq", "depth", "rounds", "messages", "words", "broadcasts"] {
+            let _ = get_u64(s, key);
+        }
+        assert!(s.get("name").and_then(Value::as_str).is_some());
+    }
+
+    // Depth-0 spans partition the run totals (here: the single wrapper span).
+    for key in ["rounds", "messages", "words", "broadcasts"] {
+        let sum: u64 = spans
+            .iter()
+            .filter(|s| get_u64(s, "depth") == 0)
+            .map(|s| get_u64(s, key))
+            .sum();
+        assert_eq!(
+            sum,
+            get_u64(summary, key),
+            "depth-0 '{key}' must sum to total"
+        );
+    }
+
+    // The construction's phase spans arrived nested under the wrapper.
+    let names: Vec<&str> = spans
+        .iter()
+        .filter_map(|s| s.get("name").and_then(Value::as_str))
+        .collect();
+    assert_eq!(names[0], "test/build");
+    assert!(names.iter().filter(|n| n.starts_with("scheme/")).count() >= 3);
+    assert!(spans[1..].iter().all(|s| get_u64(s, "depth") >= 1));
+}
+
+#[test]
+fn observed_build_matches_plain_build() {
+    let mut rng1 = ChaCha8Rng::seed_from_u64(11);
+    let mut rng2 = ChaCha8Rng::seed_from_u64(11);
+    let g = {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        graphs::generators::erdos_renyi_connected(80, 0.08, 1..=9, &mut rng)
+    };
+    let plain = build(&g, &BuildParams::new(2), &mut rng1);
+    let mut rec = obs::Recorder::new();
+    let observed = build_observed(&g, &BuildParams::new(2), &mut rng2, &mut rec);
+    assert_eq!(plain.report.rounds, observed.report.rounds);
+    assert_eq!(
+        plain.report.memory.max_peak(),
+        observed.report.memory.max_peak()
+    );
+    assert_eq!(
+        plain.report.max_table_words,
+        observed.report.max_table_words
+    );
+    assert_eq!(
+        plain.report.max_label_words,
+        observed.report.max_label_words
+    );
+}

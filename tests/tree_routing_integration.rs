@@ -129,7 +129,9 @@ fn multi_tree_memory_and_rounds_beat_sequential() {
     }
     let mut seq = 0u64;
     for t in &trees {
-        seq += distributed::build_default(&net, t, &mut rng).ledger.rounds();
+        seq += distributed::build_default(&net, t, &mut rng)
+            .ledger
+            .rounds();
     }
     assert!(par.ledger.rounds() < seq);
 }

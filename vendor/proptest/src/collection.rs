@@ -1,0 +1,88 @@
+//! Collection strategies: `vec` with a fixed or ranged length.
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::Rng;
+
+use crate::{Strategy, TestRng};
+
+/// A half-open range of permissible collection lengths.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end() + 1,
+        }
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.gen_range(self.size.lo..self.size.hi);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// A vector whose elements come from `element` and whose length comes from
+/// `size` (a fixed `usize` or a `usize` range).
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_size_is_exact() {
+        let strat = vec(0u32..5, 7usize);
+        let mut rng = crate::test_rng("fixed", 1);
+        for _ in 0..20 {
+            assert_eq!(strat.generate(&mut rng).len(), 7);
+        }
+    }
+
+    #[test]
+    fn ranged_size_stays_in_range() {
+        let strat = vec(0u32..5, 2..6);
+        let mut rng = crate::test_rng("ranged", 2);
+        for _ in 0..50 {
+            let v = strat.generate(&mut rng);
+            assert!((2..6).contains(&v.len()), "len = {}", v.len());
+        }
+    }
+}
