@@ -56,7 +56,22 @@ fn main() {
             })
             .collect();
         let span = rec.begin(&format!("fig_load/p{load}"));
-        let report = packet::send_many(&net, &built.scheme, &pairs);
+        // When reporting, run the flight-recorded twin: the report is
+        // identical to the untraced run's (pinned by core's tests), so
+        // stdout stays byte-for-byte the same, and the heatmaps become
+        // `edge_load`/`vertex_load` records in the JSONL report.
+        let report = if opts.reporting() {
+            let flight = packet::send_many_traced(&net, &built.scheme, &pairs);
+            let extra = [
+                ("figure", obs::json::Value::from("fig_load")),
+                ("packets", obs::json::Value::from(load)),
+            ];
+            rec.add_record(flight.edge_load.to_value(&extra));
+            rec.add_record(flight.vertex_load.to_value(&extra));
+            flight.report
+        } else {
+            packet::send_many(&net, &built.scheme, &pairs)
+        };
         rec.charge(&obs::Counters {
             rounds: report.stats.rounds,
             messages: report.stats.messages,
@@ -64,12 +79,7 @@ fn main() {
             broadcasts: 0,
         });
         rec.end_with_memory(span, report.stats.memory.peaks());
-        let delays: Vec<u64> = report
-            .deliveries
-            .iter()
-            .flatten()
-            .map(|&(r, _)| r)
-            .collect();
+        let delays: Vec<u64> = report.deliveries().flatten().map(|(r, _)| r).collect();
         let delivered = delays.len();
         let mean = delays.iter().sum::<u64>() as f64 / delivered.max(1) as f64;
         let max = delays.iter().max().copied().unwrap_or(0);

@@ -8,7 +8,9 @@
 //! Run with: `cargo run --release -p bench --bin fig_stretch_vs_k`
 //!
 //! `--report <path>` (or `DRT_REPORT`) writes a JSONL run report with one
-//! `fig_stretch_vs_k/<family>/k<k>` span per build.
+//! `fig_stretch_vs_k/<family>/k<k>` span per build, plus one
+//! `stretch_histogram` record per `(family, k, selection)` holding the full
+//! sampled stretch distribution (not just the printed percentiles).
 
 use bench::{print_header, print_row, Family};
 use graphs::VertexId;
@@ -49,6 +51,15 @@ fn main() {
                 router::measure_stretch(&g, &built.scheme, &srcs, router::Selection::SourceOptimal);
             let shake =
                 router::measure_stretch(&g, &built.scheme, &srcs, router::Selection::Handshake);
+            for (selection, s) in [("source-optimal", &stats), ("handshake", &shake)] {
+                let hist = obs::flight::Histogram::of_stretch(&s.values, 32);
+                rec.add_record(hist.to_value(&[
+                    ("figure", obs::json::Value::from("fig_stretch_vs_k")),
+                    ("family", obs::json::Value::from(family.name())),
+                    ("k", obs::json::Value::from(k)),
+                    ("selection", obs::json::Value::from(selection)),
+                ]));
+            }
             print_row(
                 &[
                     k.to_string(),

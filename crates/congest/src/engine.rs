@@ -32,6 +32,13 @@ pub trait VertexProtocol {
     /// Words of memory this vertex currently holds; polled after every round
     /// to maintain the per-vertex peak.
     fn memory_words(&self) -> usize;
+
+    /// Words currently parked in this vertex's outgoing forwarding queues.
+    /// Store-and-forward protocols override this so a traced run can record
+    /// queue occupancy per round; stateless protocols keep the default 0.
+    fn queued_words(&self) -> usize {
+        0
+    }
 }
 
 /// The view a protocol instance has of its environment during a round.
@@ -214,6 +221,7 @@ impl Engine {
                 words: stats.words,
                 max_edge_words: stats.max_edge_words,
                 congestion_violations: stats.congestion_violations,
+                queued_words: protocols.iter().map(VertexProtocol::queued_words).sum(),
             });
         }
 
@@ -262,6 +270,7 @@ impl Engine {
                     words: stats.words - words_before,
                     max_edge_words: stats.max_edge_words,
                     congestion_violations: stats.congestion_violations - violations_before,
+                    queued_words: protocols.iter().map(VertexProtocol::queued_words).sum(),
                 });
             }
             sent_last_round = stats.messages > messages_before;

@@ -8,17 +8,70 @@
 //! label — `O(log n)` words, checked against the engine's congestion meter.
 //! Delivery takes one round per hop, by construction.
 //!
+//! Every simulation has a *traced* twin ([`send_traced`],
+//! [`send_many_traced`]) that additionally records one
+//! [`obs::flight::HopRecord`] per edge traversal — round, chosen port,
+//! forwarding-decision kind (ascent toward the committed pivot vs. descent
+//! in its tree), queueing delay, accumulated weight — and aggregates
+//! [`obs::flight::EdgeLoadMap`]/[`obs::flight::VertexLoadMap`] heatmaps.
+//! Trace state rides *out of band*: it is never counted by [`WordSized`],
+//! so congestion accounting, round counts, and memory meters are identical
+//! between a traced run and its untraced twin.
+//!
 //! Only the paper's tree-scheme family is supported (the prior baseline's
 //! packets would carry its `O(log² n)` labels).
 
 use congest::engine::{Ctx, Engine, EngineConfig, VertexProtocol};
 use congest::{Network, RunStats, WordSized};
 use graphs::{VertexId, Weight};
-use tree_routing::types::{route_step, RouteAction, TreeLabel};
+use obs::flight::{EdgeLoadMap, HopKind, HopRecord, PacketTrace, VertexLoadMap};
+use tree_routing::types::{route_decision, ForwardingDecision, TreeLabel};
 
-use crate::scheme::{RoutingScheme, RoutingTable, TreeLabelKind, TreeTableKind};
+use crate::scheme::{LabelEntry, RoutingScheme, RoutingTable, TreeLabelKind, TreeTableKind};
+
+/// The flight-recorder view of a [`ForwardingDecision`]'s kind.
+fn hop_kind(decision: &ForwardingDecision) -> Option<HopKind> {
+    match decision {
+        ForwardingDecision::Deliver => None,
+        ForwardingDecision::Ascend(_) => Some(HopKind::Ascent),
+        ForwardingDecision::DescendLight(_) => Some(HopKind::DescentLight),
+        ForwardingDecision::DescendHeavy(_) => Some(HopKind::DescentHeavy),
+    }
+}
+
+/// The source decision, shared by every send variant: the valid label entry
+/// of `dst` minimizing the estimated round trip from `src`.
+fn choose_entry(scheme: &RoutingScheme, src: VertexId, dst: VertexId) -> Option<&LabelEntry> {
+    let label = &scheme.labels[dst.index()];
+    let src_table = &scheme.tables[src.index()];
+    let mut chosen: Option<(&LabelEntry, Weight)> = None;
+    for e in &label.entries {
+        if let Some(te) = src_table.entry(e.pivot) {
+            let cost = te.dist.saturating_add(e.dist);
+            if chosen.is_none_or(|(_, c)| cost < c) {
+                chosen = Some((e, cost));
+            }
+        }
+    }
+    chosen.map(|(e, _)| e)
+}
+
+/// The paper's tree label out of a [`LabelEntry`].
+///
+/// # Panics
+///
+/// Panics if the scheme was built in prior-baseline mode.
+fn ours_label(entry: &LabelEntry) -> &TreeLabel {
+    let TreeLabelKind::Ours(tree_label) = &entry.tree_label else {
+        panic!("packet simulation supports the paper's tree scheme only");
+    };
+    tree_label
+}
 
 /// The packet on the wire: header + target tree label.
+///
+/// The optional trace is out-of-band flight-recorder state and does not
+/// count toward the packet's wire size.
 #[derive(Clone, Debug)]
 pub struct Packet {
     /// Header: the tree the sender committed to.
@@ -27,12 +80,80 @@ pub struct Packet {
     pub weight: Weight,
     /// The target's label in that tree.
     pub label: TreeLabel,
+    /// Flight-recorder journey, present only in traced sends.
+    trace: Option<Box<PacketTrace>>,
 }
 
 impl WordSized for Packet {
     fn words(&self) -> usize {
         2 + self.label.words()
     }
+}
+
+/// The explicit outcome of a single-packet simulation.
+///
+/// Previously an undeliverable packet and a zero-hop self-delivery were both
+/// reported as `delivered: false/true` with `rounds: 0, weight: 0`; the enum
+/// keeps the cases apart for downstream statistics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PacketOutcome {
+    /// The packet arrived: delivery round (= hop count) and routed weight.
+    /// A self-addressed packet legitimately reports `rounds: 0, weight: 0`.
+    Delivered {
+        /// Round of delivery = number of hops.
+        rounds: u64,
+        /// Weight the header accumulated (equals the routed path weight).
+        weight: Weight,
+    },
+    /// No label entry of the target names a tree containing the source
+    /// (disconnected pair); nothing was injected.
+    NoCommonTree,
+    /// The forwarding rule got stuck mid-route at this vertex (missing
+    /// table row or port — a construction bug, not a traffic condition).
+    Stuck(VertexId),
+}
+
+impl PacketOutcome {
+    /// Whether the packet arrived.
+    pub fn is_delivered(&self) -> bool {
+        matches!(self, PacketOutcome::Delivered { .. })
+    }
+
+    /// Delivery round and weight, if the packet arrived.
+    pub fn delivery(&self) -> Option<(u64, Weight)> {
+        match self {
+            PacketOutcome::Delivered { rounds, weight } => Some((*rounds, *weight)),
+            _ => None,
+        }
+    }
+}
+
+/// Result of a packet simulation.
+#[derive(Clone, Debug)]
+pub struct PacketReport {
+    /// What happened to the packet.
+    pub outcome: PacketOutcome,
+    /// Size of the packet in words (header + label; 0 when never injected).
+    pub packet_words: usize,
+    /// Engine statistics (congestion, messages, memory).
+    pub stats: RunStats,
+}
+
+impl PacketReport {
+    /// Whether the packet arrived.
+    pub fn delivered(&self) -> bool {
+        self.outcome.is_delivered()
+    }
+}
+
+/// A single-packet simulation plus its flight recording.
+#[derive(Clone, Debug)]
+pub struct PacketFlight {
+    /// The simulation result, identical to the untraced [`send`]'s.
+    pub report: PacketReport,
+    /// The hop-by-hop journey. Present whenever the packet was injected
+    /// (delivered *or* stuck); `None` only for [`PacketOutcome::NoCommonTree`].
+    pub trace: Option<PacketTrace>,
 }
 
 /// Per-vertex protocol state: the vertex's own routing table, nothing else.
@@ -43,33 +164,58 @@ struct PacketVertex {
     delivered: Option<(u64, Weight)>,
     /// The packet to inject at init (source only).
     inject: Option<Packet>,
-    failed: bool,
+    failed: Option<VertexId>,
+    /// The journey extracted at delivery or failure (traced runs only).
+    trace_out: Option<PacketTrace>,
 }
 
 impl PacketVertex {
+    fn fail(&mut self, me: VertexId, packet: &mut Packet) {
+        self.failed = Some(me);
+        self.trace_out = packet.trace.take().map(|t| *t);
+    }
+
     fn handle(&mut self, ctx: &mut Ctx<'_, Packet>, mut packet: Packet) {
         let me = ctx.me();
         let Some(entry) = self.table.entry(packet.tree_root) else {
-            self.failed = true;
+            self.fail(me, &mut packet);
             return;
         };
         let TreeTableKind::Ours(table) = &entry.table else {
-            self.failed = true;
+            self.fail(me, &mut packet);
             return;
         };
-        match route_step(me, table, &packet.label) {
-            Some(RouteAction::Deliver) => {
+        match route_decision(me, table, &packet.label) {
+            Some(ForwardingDecision::Deliver) => {
                 self.delivered = Some((ctx.round(), packet.weight));
+                if let Some(mut trace) = packet.trace.take() {
+                    trace.delivered_round = Some(ctx.round());
+                    self.trace_out = Some(*trace);
+                }
             }
-            Some(RouteAction::Forward(next)) => {
-                let Some(arc) = ctx.neighbors().iter().find(|a| a.to == next) else {
-                    self.failed = true;
+            Some(decision) => {
+                let next = decision.next_hop().expect("forwarding decision");
+                let Some(port) = ctx.neighbors().iter().position(|a| a.to == next) else {
+                    self.fail(me, &mut packet);
                     return;
                 };
-                packet.weight += arc.weight;
+                let header_words = packet.words();
+                packet.weight += ctx.neighbors()[port].weight;
+                if let Some(trace) = packet.trace.as_mut() {
+                    trace.hops.push(HopRecord {
+                        round: ctx.round(),
+                        vertex: me.0,
+                        port,
+                        next: next.0,
+                        kind: hop_kind(&decision).expect("forwarding hop"),
+                        queue_delay: 0,
+                        weight: packet.weight,
+                        header_words,
+                    });
+                }
                 ctx.send(next, packet);
             }
-            None => self.failed = true,
+            None => self.fail(me, &mut packet),
         }
     }
 }
@@ -98,21 +244,6 @@ impl VertexProtocol for PacketVertex {
     }
 }
 
-/// Result of a packet simulation.
-#[derive(Clone, Debug)]
-pub struct PacketReport {
-    /// Whether the packet arrived.
-    pub delivered: bool,
-    /// Round of delivery = number of hops.
-    pub rounds: u64,
-    /// Weight the header accumulated (equals the routed path weight).
-    pub weight: Weight,
-    /// Size of the packet in words (header + label).
-    pub packet_words: usize,
-    /// Engine statistics (congestion, messages, memory).
-    pub stats: RunStats,
-}
-
 /// Send one packet from `src` to `dst` through the engine, using the
 /// source-optimal tree choice.
 ///
@@ -125,34 +256,55 @@ pub fn send(
     src: VertexId,
     dst: VertexId,
 ) -> PacketReport {
-    // Source decision, as in the central router.
-    let label = &scheme.labels[dst.index()];
-    let src_table = &scheme.tables[src.index()];
-    let mut chosen: Option<(&crate::scheme::LabelEntry, Weight)> = None;
-    for e in &label.entries {
-        if let Some(te) = src_table.entry(e.pivot) {
-            let cost = te.dist.saturating_add(e.dist);
-            if chosen.is_none_or(|(_, c)| cost < c) {
-                chosen = Some((e, cost));
-            }
-        }
-    }
-    let Some((entry, _)) = chosen else {
-        return PacketReport {
-            delivered: false,
-            rounds: 0,
-            weight: 0,
-            packet_words: 0,
-            stats: RunStats::default(),
+    send_inner(network, scheme, src, dst, false).report
+}
+
+/// Like [`send`], but flight-recorded: the returned trace holds one hop
+/// record per edge traversal. The report is identical to the untraced
+/// [`send`]'s — tracing never perturbs rounds, words, or memory.
+///
+/// # Panics
+///
+/// Panics if the scheme was built in prior-baseline mode.
+pub fn send_traced(
+    network: &Network,
+    scheme: &RoutingScheme,
+    src: VertexId,
+    dst: VertexId,
+) -> PacketFlight {
+    send_inner(network, scheme, src, dst, true)
+}
+
+fn send_inner(
+    network: &Network,
+    scheme: &RoutingScheme,
+    src: VertexId,
+    dst: VertexId,
+    traced: bool,
+) -> PacketFlight {
+    let Some(entry) = choose_entry(scheme, src, dst) else {
+        return PacketFlight {
+            report: PacketReport {
+                outcome: PacketOutcome::NoCommonTree,
+                packet_words: 0,
+                stats: RunStats::default(),
+            },
+            trace: None,
         };
-    };
-    let TreeLabelKind::Ours(tree_label) = &entry.tree_label else {
-        panic!("packet simulation supports the paper's tree scheme only");
     };
     let packet = Packet {
         tree_root: entry.pivot,
         weight: 0,
-        label: tree_label.clone(),
+        label: ours_label(entry).clone(),
+        trace: traced.then(|| {
+            Box::new(PacketTrace {
+                src: src.0,
+                dst: dst.0,
+                tree_root: entry.pivot.0,
+                delivered_round: None,
+                hops: Vec::new(),
+            })
+        }),
     };
     let packet_words = packet.words();
 
@@ -163,7 +315,8 @@ pub fn send(
             table: scheme.tables[v.index()].clone(),
             delivered: None,
             inject: (v == src).then(|| packet.clone()),
-            failed: false,
+            failed: None,
+            trace_out: None,
         })
         .collect();
     let engine = Engine::with_config(EngineConfig {
@@ -171,18 +324,30 @@ pub fn send(
         edge_words_per_round: packet_words,
         ..EngineConfig::default()
     });
-    let (protos, stats) = engine.run(network, protos);
+    let (mut protos, stats) = engine.run(network, protos);
     let delivered = protos.iter().find_map(|p| p.delivered);
-    PacketReport {
-        delivered: delivered.is_some(),
-        rounds: delivered.map_or(0, |(r, _)| r),
-        weight: delivered.map_or(0, |(_, w)| w),
-        packet_words,
-        stats,
+    let outcome = match delivered {
+        Some((rounds, weight)) => PacketOutcome::Delivered { rounds, weight },
+        None => {
+            let stuck_at = protos.iter().find_map(|p| p.failed).unwrap_or(src);
+            PacketOutcome::Stuck(stuck_at)
+        }
+    };
+    let trace = protos.iter_mut().find_map(|p| p.trace_out.take());
+    PacketFlight {
+        report: PacketReport {
+            outcome,
+            packet_words,
+            stats,
+        },
+        trace,
     }
 }
 
 /// A packet under load, with an id so deliveries can be matched up.
+///
+/// The optional trace is out-of-band flight-recorder state and does not
+/// count toward the packet's wire size.
 #[derive(Clone, Debug)]
 pub struct LoadedPacket {
     /// Index into the submitted batch.
@@ -193,6 +358,8 @@ pub struct LoadedPacket {
     pub weight: Weight,
     /// Target tree label.
     pub label: TreeLabel,
+    /// Flight-recorder journey, present only in traced sends.
+    trace: Option<Box<PacketTrace>>,
 }
 
 impl WordSized for LoadedPacket {
@@ -203,45 +370,88 @@ impl WordSized for LoadedPacket {
 
 /// Per-vertex protocol for batched traffic: FIFO queues per outgoing edge,
 /// one packet per edge per round — real store-and-forward congestion.
+/// Queue entries remember their enqueue round, so a traced run prices each
+/// hop's queueing delay exactly.
 #[derive(Clone, Debug)]
 struct LoadedVertex {
     table: RoutingTable,
-    queues: std::collections::HashMap<VertexId, std::collections::VecDeque<LoadedPacket>>,
+    queues: std::collections::HashMap<VertexId, std::collections::VecDeque<(LoadedPacket, u64)>>,
     delivered: Vec<(u32, u64, Weight)>,
     inject: Vec<LoadedPacket>,
-    dropped: u32,
+    /// Ids of packets dropped here by a stuck rule or missing entry.
+    dropped: Vec<u32>,
+    /// Completed journeys (delivered or dropped here; traced runs only).
+    traces_out: Vec<PacketTrace>,
 }
 
 impl LoadedVertex {
+    fn drop_packet(&mut self, packet: &mut LoadedPacket) {
+        self.dropped.push(packet.id);
+        if let Some(trace) = packet.trace.take() {
+            self.traces_out.push(*trace);
+        }
+    }
+
     fn classify(&mut self, ctx: &Ctx<'_, LoadedPacket>, mut packet: LoadedPacket, round: u64) {
         let me = ctx.me();
-        let step = self
+        let decision = self
             .table
             .entry(packet.tree_root)
             .and_then(|entry| match &entry.table {
-                TreeTableKind::Ours(t) => route_step(me, t, &packet.label),
+                TreeTableKind::Ours(t) => route_decision(me, t, &packet.label),
                 TreeTableKind::Prior(_) => None,
             });
-        match step {
-            Some(RouteAction::Deliver) => self.delivered.push((packet.id, round, packet.weight)),
-            Some(RouteAction::Forward(next)) => {
-                match ctx.neighbors().iter().find(|a| a.to == next) {
-                    Some(arc) => {
-                        packet.weight += arc.weight;
-                        self.queues.entry(next).or_default().push_back(packet);
-                    }
-                    None => self.dropped += 1,
+        match decision {
+            Some(ForwardingDecision::Deliver) => {
+                self.delivered.push((packet.id, round, packet.weight));
+                if let Some(mut trace) = packet.trace.take() {
+                    trace.delivered_round = Some(round);
+                    self.traces_out.push(*trace);
                 }
             }
-            None => self.dropped += 1,
+            Some(decision) => {
+                let next = decision.next_hop().expect("forwarding decision");
+                match ctx.neighbors().iter().position(|a| a.to == next) {
+                    Some(port) => {
+                        let header_words = packet.words();
+                        packet.weight += ctx.neighbors()[port].weight;
+                        if let Some(trace) = packet.trace.as_mut() {
+                            // Round and queue delay are finalized at flush,
+                            // once the send round is known.
+                            trace.hops.push(HopRecord {
+                                round,
+                                vertex: me.0,
+                                port,
+                                next: next.0,
+                                kind: hop_kind(&decision).expect("forwarding hop"),
+                                queue_delay: 0,
+                                weight: packet.weight,
+                                header_words,
+                            });
+                        }
+                        self.queues
+                            .entry(next)
+                            .or_default()
+                            .push_back((packet, round));
+                    }
+                    None => self.drop_packet(&mut packet),
+                }
+            }
+            None => self.drop_packet(&mut packet),
         }
     }
 
     fn flush(&mut self, ctx: &mut Ctx<'_, LoadedPacket>) {
+        let now = ctx.round();
         let nexts: Vec<VertexId> = self.queues.keys().copied().collect();
         for next in nexts {
             if let Some(q) = self.queues.get_mut(&next) {
-                if let Some(p) = q.pop_front() {
+                if let Some((mut p, enqueued)) = q.pop_front() {
+                    if let Some(trace) = p.trace.as_mut() {
+                        let hop = trace.hops.last_mut().expect("hop queued with a record");
+                        hop.round = now;
+                        hop.queue_delay = now - enqueued;
+                    }
                     ctx.send(next, p);
                 }
                 if q.is_empty() {
@@ -249,6 +459,13 @@ impl LoadedVertex {
                 }
             }
         }
+    }
+
+    fn queue_words(&self) -> usize {
+        self.queues
+            .values()
+            .flat_map(|q| q.iter().map(|(p, _)| p.words()))
+            .sum()
     }
 }
 
@@ -275,25 +492,88 @@ impl VertexProtocol for LoadedVertex {
     }
 
     fn memory_words(&self) -> usize {
-        self.table.words()
-            + self
-                .queues
-                .values()
-                .flat_map(|q| q.iter().map(WordSized::words))
-                .sum::<usize>()
+        self.table.words() + self.queue_words()
+    }
+
+    fn queued_words(&self) -> usize {
+        self.queue_words()
+    }
+}
+
+/// Per-packet outcome in a batched simulation.
+///
+/// Splits the old `None` delivery into its two distinct causes: a source
+/// that never committed to a tree versus a packet lost mid-route.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeliveryStatus {
+    /// Arrived: delivery round (hops + queueing) and routed weight.
+    Delivered {
+        /// Round of delivery.
+        round: u64,
+        /// Routed path weight.
+        weight: Weight,
+    },
+    /// The source had no common tree with the target; never injected.
+    Undeliverable,
+    /// Dropped mid-route by a stuck rule or missing port.
+    Dropped,
+}
+
+impl DeliveryStatus {
+    /// Delivery round and weight, if the packet arrived.
+    pub fn delivery(&self) -> Option<(u64, Weight)> {
+        match self {
+            DeliveryStatus::Delivered { round, weight } => Some((*round, *weight)),
+            _ => None,
+        }
     }
 }
 
 /// Result of a batched simulation.
 #[derive(Clone, Debug)]
 pub struct LoadReport {
-    /// Per packet (by submission index): delivery round and routed weight,
-    /// `None` if dropped or undeliverable.
-    pub deliveries: Vec<Option<(u64, Weight)>>,
-    /// Packets dropped by a stuck rule or missing entry.
+    /// Per packet (by submission index): what happened to it.
+    pub outcomes: Vec<DeliveryStatus>,
+    /// Packets whose source had no common tree (never injected).
+    pub undeliverable: u32,
+    /// Packets dropped mid-route by a stuck rule or missing entry —
+    /// distinct from `undeliverable`: these consumed network resources.
     pub dropped: u32,
-    /// Engine statistics (the memory meter now includes queue occupancy).
+    /// Engine statistics (the memory meter includes queue occupancy).
     pub stats: RunStats,
+}
+
+impl LoadReport {
+    /// Delivery round and weight of packet `id`, if it arrived.
+    pub fn delivery(&self, id: usize) -> Option<(u64, Weight)> {
+        self.outcomes[id].delivery()
+    }
+
+    /// Deliveries in submission order (`None` for undeliverable/dropped).
+    pub fn deliveries(&self) -> impl Iterator<Item = Option<(u64, Weight)>> + '_ {
+        self.outcomes.iter().map(DeliveryStatus::delivery)
+    }
+
+    /// Number of packets that arrived.
+    pub fn delivered_count(&self) -> usize {
+        self.deliveries().flatten().count()
+    }
+}
+
+/// A batched simulation plus its flight recording.
+#[derive(Clone, Debug)]
+pub struct LoadFlight {
+    /// The simulation result, identical to the untraced [`send_many`]'s.
+    pub report: LoadReport,
+    /// Per packet (by submission index): its journey. `None` only for
+    /// [`DeliveryStatus::Undeliverable`] packets; dropped packets keep
+    /// their partial journey.
+    pub traces: Vec<Option<PacketTrace>>,
+    /// Words and packets per edge, aggregated over every hop of every
+    /// trace. Word totals equal the engine's delivered-words total.
+    pub edge_load: EdgeLoadMap,
+    /// Words and packets forwarded per vertex.
+    pub vertex_load: VertexLoadMap,
 }
 
 /// Inject one packet per `(src, dst)` pair simultaneously and run the
@@ -301,47 +581,94 @@ pub struct LoadReport {
 /// edge per round, so the delivery time of a packet is its hop count plus
 /// the queueing delay its path suffered — the congestion behavior of
 /// compact routing under load.
+///
+/// # Panics
+///
+/// Panics if the scheme was built in prior-baseline mode.
 pub fn send_many(
     network: &Network,
     scheme: &RoutingScheme,
     pairs: &[(VertexId, VertexId)],
 ) -> LoadReport {
+    send_many_inner(network, scheme, pairs, false).report
+}
+
+/// Like [`send_many`], but flight-recorded: per-packet hop traces plus
+/// edge/vertex load heatmaps. The report is identical to the untraced
+/// [`send_many`]'s — tracing never perturbs rounds, words, or memory.
+///
+/// # Panics
+///
+/// Panics if the scheme was built in prior-baseline mode.
+pub fn send_many_traced(
+    network: &Network,
+    scheme: &RoutingScheme,
+    pairs: &[(VertexId, VertexId)],
+) -> LoadFlight {
+    send_many_inner(network, scheme, pairs, true)
+}
+
+fn send_many_inner(
+    network: &Network,
+    scheme: &RoutingScheme,
+    pairs: &[(VertexId, VertexId)],
+    traced: bool,
+) -> LoadFlight {
     // Source decisions, as in `send`.
     let mut inject: Vec<Vec<LoadedPacket>> = vec![Vec::new(); network.len()];
-    let mut undeliverable = vec![false; pairs.len()];
+    let mut outcomes = vec![DeliveryStatus::Undeliverable; pairs.len()];
+    let mut max_words: Option<usize> = None;
     for (id, &(src, dst)) in pairs.iter().enumerate() {
-        let label = &scheme.labels[dst.index()];
-        let src_table = &scheme.tables[src.index()];
-        let mut chosen: Option<(&crate::scheme::LabelEntry, Weight)> = None;
-        for e in &label.entries {
-            if let Some(te) = src_table.entry(e.pivot) {
-                let cost = te.dist.saturating_add(e.dist);
-                if chosen.is_none_or(|(_, c)| cost < c) {
-                    chosen = Some((e, cost));
-                }
-            }
-        }
-        match chosen {
-            Some((entry, _)) => {
-                let TreeLabelKind::Ours(tree_label) = &entry.tree_label else {
-                    panic!("packet simulation supports the paper's tree scheme only");
-                };
-                inject[src.index()].push(LoadedPacket {
-                    id: id as u32,
-                    tree_root: entry.pivot,
-                    weight: 0,
-                    label: tree_label.clone(),
-                });
-            }
-            None => undeliverable[id] = true,
-        }
+        let Some(entry) = choose_entry(scheme, src, dst) else {
+            continue; // stays Undeliverable
+        };
+        // Injected packets default to Dropped until a delivery proves
+        // otherwise, keeping the two loss causes apart.
+        outcomes[id] = DeliveryStatus::Dropped;
+        let packet = LoadedPacket {
+            id: id as u32,
+            tree_root: entry.pivot,
+            weight: 0,
+            label: ours_label(entry).clone(),
+            trace: traced.then(|| {
+                Box::new(PacketTrace {
+                    src: src.0,
+                    dst: dst.0,
+                    tree_root: entry.pivot.0,
+                    delivered_round: None,
+                    hops: Vec::new(),
+                })
+            }),
+        };
+        max_words = Some(max_words.unwrap_or(0).max(packet.words()));
+        inject[src.index()].push(packet);
     }
-    let max_words = inject
+    let undeliverable = outcomes
         .iter()
-        .flatten()
-        .map(WordSized::words)
-        .max()
-        .unwrap_or(4);
+        .filter(|o| **o == DeliveryStatus::Undeliverable)
+        .count() as u32;
+
+    // With nothing injected there is no traffic to simulate and no honest
+    // per-edge budget to configure — skip the engine instead of inventing
+    // one (the old code silently fell back to 4 words).
+    let Some(edge_words_per_round) = max_words else {
+        return LoadFlight {
+            report: LoadReport {
+                outcomes,
+                undeliverable,
+                dropped: 0,
+                stats: RunStats {
+                    completed: true,
+                    memory: congest::MemoryMeter::new(network.len()),
+                    ..RunStats::default()
+                },
+            },
+            traces: vec![None; pairs.len()],
+            edge_load: EdgeLoadMap::new(),
+            vertex_load: VertexLoadMap::new(),
+        };
+    };
+
     let protos: Vec<LoadedVertex> = network
         .graph()
         .vertices()
@@ -350,27 +677,60 @@ pub fn send_many(
             queues: std::collections::HashMap::new(),
             delivered: Vec::new(),
             inject: std::mem::take(&mut inject[v.index()]),
-            dropped: 0,
+            dropped: Vec::new(),
+            traces_out: Vec::new(),
         })
         .collect();
     let engine = Engine::with_config(EngineConfig {
-        edge_words_per_round: max_words,
+        edge_words_per_round,
         ..EngineConfig::default()
     });
     let (protos, stats) = engine.run(network, protos);
-    let mut deliveries: Vec<Option<(u64, Weight)>> = vec![None; pairs.len()];
+
     let mut dropped = 0;
-    for p in &protos {
-        dropped += p.dropped;
+    let mut traces: Vec<Option<PacketTrace>> = vec![None; pairs.len()];
+    let mut edge_load = EdgeLoadMap::new();
+    let mut vertex_load = VertexLoadMap::new();
+    for p in protos {
+        dropped += p.dropped.len() as u32;
         for &(id, round, weight) in &p.delivered {
-            deliveries[id as usize] = Some((round, weight));
+            outcomes[id as usize] = DeliveryStatus::Delivered { round, weight };
+        }
+        for trace in p.traces_out {
+            edge_load.record_trace(&trace);
+            vertex_load.record_trace(&trace);
+            let id = find_trace_id(&trace, pairs, &traces);
+            traces[id] = Some(trace);
         }
     }
-    LoadReport {
-        deliveries,
-        dropped,
-        stats,
+    LoadFlight {
+        report: LoadReport {
+            outcomes,
+            undeliverable,
+            dropped,
+            stats,
+        },
+        traces,
+        edge_load,
+        vertex_load,
     }
+}
+
+/// Match a completed trace back to its submission index. Traces do not
+/// carry the batch id (it lives in the packet header, which is consumed at
+/// delivery), so match on `(src, dst)` among still-unassigned slots —
+/// duplicates of the same pair take identical journeys, making any
+/// assignment among them equivalent.
+fn find_trace_id(
+    trace: &PacketTrace,
+    pairs: &[(VertexId, VertexId)],
+    assigned: &[Option<PacketTrace>],
+) -> usize {
+    pairs
+        .iter()
+        .enumerate()
+        .position(|(i, &(s, d))| s.0 == trace.src && d.0 == trace.dst && assigned[i].is_none())
+        .expect("every trace stems from a submitted pair")
 }
 
 #[cfg(test)]
@@ -394,10 +754,10 @@ mod tests {
         let (net, scheme) = setup(60, 601);
         for (s, t) in [(0u32, 59u32), (5, 30), (42, 7)] {
             let report = send(&net, &scheme, VertexId(s), VertexId(t));
-            assert!(report.delivered);
+            let (rounds, weight) = report.outcome.delivery().expect("delivered");
             let central = router::route(net.graph(), &scheme, VertexId(s), VertexId(t)).unwrap();
-            assert_eq!(report.weight, central.weight);
-            assert_eq!(report.rounds as usize, central.hops());
+            assert_eq!(weight, central.weight);
+            assert_eq!(rounds as usize, central.hops());
         }
     }
 
@@ -405,16 +765,22 @@ mod tests {
     fn packet_to_self_delivers_in_zero_rounds() {
         let (net, scheme) = setup(30, 602);
         let report = send(&net, &scheme, VertexId(3), VertexId(3));
-        assert!(report.delivered);
-        assert_eq!(report.rounds, 0);
-        assert_eq!(report.weight, 0);
+        // A legitimate zero-hop self-delivery is Delivered{0, 0} — now
+        // distinguishable from an undeliverable packet's NoCommonTree.
+        assert_eq!(
+            report.outcome,
+            PacketOutcome::Delivered {
+                rounds: 0,
+                weight: 0
+            }
+        );
     }
 
     #[test]
     fn packet_size_is_logarithmic() {
         let (net, scheme) = setup(100, 603);
         let report = send(&net, &scheme, VertexId(0), VertexId(99));
-        assert!(report.delivered);
+        assert!(report.delivered());
         // Header (2) + label (1 + 2·light); light ≤ log2(n).
         assert!(
             report.packet_words <= 2 + 1 + 2 * 7,
@@ -425,7 +791,7 @@ mod tests {
     }
 
     #[test]
-    fn undeliverable_packet_reports_cleanly() {
+    fn undeliverable_packet_reports_no_common_tree() {
         let mut b = graphs::GraphBuilder::new(4);
         b.add_edge(VertexId(0), VertexId(1), 1);
         b.add_edge(VertexId(2), VertexId(3), 1);
@@ -434,7 +800,61 @@ mod tests {
         let built = build(&g, &BuildParams::new(2), &mut rng);
         let net = Network::new(g);
         let report = send(&net, &built.scheme, VertexId(0), VertexId(3));
-        assert!(!report.delivered);
+        assert_eq!(report.outcome, PacketOutcome::NoCommonTree);
+        assert_eq!(report.packet_words, 0);
+        let flight = send_traced(&net, &built.scheme, VertexId(0), VertexId(3));
+        assert!(flight.trace.is_none(), "nothing was injected");
+    }
+
+    #[test]
+    fn traced_send_matches_untraced_send() {
+        let (net, scheme) = setup(60, 609);
+        for (s, t) in [(0u32, 59u32), (7, 23), (14, 14)] {
+            let plain = send(&net, &scheme, VertexId(s), VertexId(t));
+            let flight = send_traced(&net, &scheme, VertexId(s), VertexId(t));
+            assert_eq!(plain.outcome, flight.report.outcome);
+            assert_eq!(plain.packet_words, flight.report.packet_words);
+            assert_eq!(plain.stats.rounds, flight.report.stats.rounds);
+            assert_eq!(plain.stats.messages, flight.report.stats.messages);
+            assert_eq!(plain.stats.words, flight.report.stats.words);
+            assert_eq!(
+                plain.stats.memory.max_peak(),
+                flight.report.stats.memory.max_peak()
+            );
+        }
+    }
+
+    #[test]
+    fn trace_reconstructs_the_journey() {
+        let (net, scheme) = setup(60, 610);
+        let flight = send_traced(&net, &scheme, VertexId(2), VertexId(55));
+        let (rounds, weight) = flight.report.outcome.delivery().expect("delivered");
+        let trace = flight.trace.expect("traced");
+        assert_eq!(trace.src, 2);
+        assert_eq!(trace.dst, 55);
+        assert_eq!(trace.hop_count() as u64, rounds);
+        assert_eq!(trace.total_weight(), weight);
+        assert_eq!(trace.delivered_round, Some(rounds));
+        // Stateless single-packet forwarding never queues.
+        assert_eq!(trace.queueing_delay(), 0);
+        // The decomposition partitions the routed weight.
+        let d = trace.decomposition();
+        assert_eq!(d.ascent_weight + d.descent_weight, weight);
+        assert_eq!(d.ascent_hops + d.descent_hops, trace.hop_count());
+        // Ascent happens before descent: once a packet turns downward in
+        // the committed tree it never climbs again.
+        let first_descent = trace
+            .hops
+            .iter()
+            .position(|h| !h.kind.is_ascent())
+            .unwrap_or(trace.hops.len());
+        assert!(
+            trace.hops[first_descent..]
+                .iter()
+                .all(|h| !h.kind.is_ascent()),
+            "ascent after descent in {:?}",
+            trace.hops
+        );
     }
 
     #[test]
@@ -447,8 +867,9 @@ mod tests {
             .collect();
         let report = send_many(&net, &scheme, &pairs);
         assert_eq!(report.dropped, 0);
+        assert_eq!(report.undeliverable, 0);
         for (id, &(s, t)) in pairs.iter().enumerate() {
-            let (round, weight) = report.deliveries[id].expect("delivered");
+            let (round, weight) = report.delivery(id).expect("delivered");
             let central = router::route(g, &scheme, s, t).unwrap();
             // Same path weight as the uncongested router; delivery no
             // earlier than the hop count (queueing only adds delay).
@@ -456,6 +877,47 @@ mod tests {
             assert!(round as usize >= central.hops(), "packet {id}");
         }
         assert_eq!(report.stats.congestion_violations, 0);
+    }
+
+    #[test]
+    fn traced_batch_matches_untraced_and_decomposes_delay() {
+        let (net, scheme) = setup(80, 611);
+        let pairs: Vec<(VertexId, VertexId)> = (0..60u32)
+            .map(|i| (VertexId(i % 80), VertexId((i * 13 + 7) % 80)))
+            .filter(|(a, b)| a != b)
+            .collect();
+        let plain = send_many(&net, &scheme, &pairs);
+        let flight = send_many_traced(&net, &scheme, &pairs);
+        assert_eq!(plain.outcomes, flight.report.outcomes);
+        assert_eq!(plain.stats.rounds, flight.report.stats.rounds);
+        assert_eq!(plain.stats.messages, flight.report.stats.messages);
+        assert_eq!(plain.stats.words, flight.report.stats.words);
+        assert_eq!(
+            plain.stats.memory.max_peak(),
+            flight.report.stats.memory.max_peak()
+        );
+        // Delivery time decomposes into hops + queueing, per packet.
+        for (id, trace) in flight.traces.iter().enumerate() {
+            let trace = trace.as_ref().expect("all injected");
+            let (round, weight) = flight.report.delivery(id).expect("delivered");
+            assert_eq!(
+                round,
+                trace.hop_count() as u64 + trace.queueing_delay(),
+                "packet {id}: delivery round must be hops + queueing"
+            );
+            assert_eq!(trace.total_weight(), weight, "packet {id}");
+        }
+        // The edge heatmap's words are exactly the engine's delivered words.
+        assert_eq!(flight.edge_load.total_words(), flight.report.stats.words);
+        assert_eq!(flight.vertex_load.total_words(), flight.report.stats.words);
+        let hops: u64 = flight
+            .traces
+            .iter()
+            .flatten()
+            .map(|t| t.hop_count() as u64)
+            .sum();
+        assert_eq!(flight.edge_load.total_packets(), hops);
+        assert_eq!(flight.report.stats.messages, hops);
     }
 
     #[test]
@@ -467,17 +929,10 @@ mod tests {
         let pairs: Vec<(VertexId, VertexId)> = (1..50u32).map(|i| (VertexId(i), sink)).collect();
         let report = send_many(&net, &scheme, &pairs);
         assert_eq!(report.dropped, 0);
-        let delivered = report.deliveries.iter().flatten().count();
-        assert_eq!(delivered, 49);
+        assert_eq!(report.delivered_count(), 49);
         // The last arrival is later than the distance-only bound would be —
         // serialization at the sink's incident edges forces it.
-        let last = report
-            .deliveries
-            .iter()
-            .flatten()
-            .map(|&(r, _)| r)
-            .max()
-            .unwrap();
+        let last = report.deliveries().flatten().map(|(r, _)| r).max().unwrap();
         let sink_degree = net.graph().degree(sink) as u64;
         assert!(
             last >= 49 / sink_degree.max(1),
@@ -486,11 +941,96 @@ mod tests {
     }
 
     #[test]
-    fn empty_batch_is_a_noop() {
+    fn hotspot_heatmap_concentrates_at_the_sink() {
+        let (net, scheme) = setup(50, 612);
+        let sink = VertexId(0);
+        let pairs: Vec<(VertexId, VertexId)> = (1..50u32).map(|i| (VertexId(i), sink)).collect();
+        let flight = send_many_traced(&net, &scheme, &pairs);
+        // Queueing must have happened somewhere.
+        let queued: u64 = flight
+            .traces
+            .iter()
+            .flatten()
+            .map(PacketTrace::queueing_delay)
+            .sum();
+        assert!(queued > 0, "49-to-1 traffic cannot avoid queueing");
+        // The sink's incident edges carry every packet's last hop: the
+        // hottest edge should touch the sink's neighborhood, and p99 ≥ p50.
+        let stats = flight.edge_load.stats();
+        assert!(stats.max >= stats.p99);
+        assert!(stats.p99 >= stats.p50);
+        assert_eq!(flight.edge_load.total_words(), flight.report.stats.words);
+    }
+
+    #[test]
+    fn empty_batch_skips_the_engine() {
         let (net, scheme) = setup(20, 608);
         let report = send_many(&net, &scheme, &[]);
-        assert!(report.deliveries.is_empty());
+        assert!(report.outcomes.is_empty());
+        assert_eq!(report.undeliverable, 0);
+        assert_eq!(report.dropped, 0);
         assert_eq!(report.stats.rounds, 0);
+        assert_eq!(report.stats.messages, 0);
+        assert!(report.stats.completed);
+    }
+
+    #[test]
+    fn all_undeliverable_batch_reports_distinctly() {
+        // Two components: cross-component pairs are undeliverable at the
+        // source — reported as such, not as engine drops.
+        let mut b = graphs::GraphBuilder::new(6);
+        b.add_edge(VertexId(0), VertexId(1), 1);
+        b.add_edge(VertexId(1), VertexId(2), 1);
+        b.add_edge(VertexId(3), VertexId(4), 1);
+        b.add_edge(VertexId(4), VertexId(5), 1);
+        let g = b.build();
+        let mut rng = ChaCha8Rng::seed_from_u64(613);
+        let built = build(&g, &BuildParams::new(2), &mut rng);
+        let net = Network::new(g);
+        let pairs = [(VertexId(0), VertexId(4)), (VertexId(3), VertexId(2))];
+        let report = send_many(&net, &built.scheme, &pairs);
+        assert_eq!(report.undeliverable, 2);
+        assert_eq!(report.dropped, 0);
+        assert!(report
+            .outcomes
+            .iter()
+            .all(|o| *o == DeliveryStatus::Undeliverable));
+        // No packets → no engine run → no invented congestion budget.
+        assert_eq!(report.stats.rounds, 0);
+        assert_eq!(report.stats.messages, 0);
+        let flight = send_many_traced(&net, &built.scheme, &pairs);
+        assert!(flight.traces.iter().all(Option::is_none));
+        assert!(flight.edge_load.is_empty());
+    }
+
+    #[test]
+    fn mixed_batch_keeps_undeliverable_and_delivered_apart() {
+        let mut b = graphs::GraphBuilder::new(5);
+        b.add_edge(VertexId(0), VertexId(1), 2);
+        b.add_edge(VertexId(1), VertexId(2), 3);
+        // Vertices 3, 4 form a separate component.
+        b.add_edge(VertexId(3), VertexId(4), 1);
+        let g = b.build();
+        let mut rng = ChaCha8Rng::seed_from_u64(614);
+        let built = build(&g, &BuildParams::new(2), &mut rng);
+        let net = Network::new(g);
+        let pairs = [
+            (VertexId(0), VertexId(2)), // routable
+            (VertexId(0), VertexId(4)), // cross-component
+            (VertexId(2), VertexId(2)), // self: zero-hop delivery
+        ];
+        let report = send_many(&net, &built.scheme, &pairs);
+        assert!(report.delivery(0).is_some());
+        assert_eq!(report.outcomes[1], DeliveryStatus::Undeliverable);
+        assert_eq!(
+            report.outcomes[2],
+            DeliveryStatus::Delivered {
+                round: 0,
+                weight: 0
+            }
+        );
+        assert_eq!(report.undeliverable, 1);
+        assert_eq!(report.dropped, 0);
     }
 
     #[test]

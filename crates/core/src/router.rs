@@ -226,6 +226,9 @@ pub struct StretchStats {
     pub p99: f64,
     /// Mean number of hops routed.
     pub mean_hops: f64,
+    /// Every sampled stretch value, sorted ascending — the raw material for
+    /// histogram records in run reports.
+    pub values: Vec<f64>,
 }
 
 fn percentile(sorted: &[f64], q: f64) -> f64 {
@@ -284,6 +287,7 @@ pub fn measure_stretch(
         stats.p95 = percentile(&values, 0.95);
         stats.p99 = percentile(&values, 0.99);
     }
+    stats.values = values;
     stats
 }
 

@@ -18,7 +18,11 @@
 //!   `DRT_REPORT` environment variable (see [`cli`]);
 //! * [`json`] is a dependency-free JSON writer *and* parser, so generated
 //!   reports can be read back and checked (span deltas must sum to the run
-//!   totals) and the bench binaries can emit their tables as JSON.
+//!   totals) and the bench binaries can emit their tables as JSON;
+//! * [`flight`] is the forwarding-plane flight recorder: hop-by-hop
+//!   [`flight::PacketTrace`]s, [`flight::EdgeLoadMap`]/
+//!   [`flight::VertexLoadMap`] heatmaps, and stretch histograms, emitted
+//!   into the same JSONL reports via [`Recorder::add_record`].
 //!
 //! A disabled recorder ([`Recorder::disabled`]) makes every operation an
 //! early-returning no-op, so instrumented code paths cost nothing when
@@ -28,6 +32,7 @@ use std::io::{self, Write as _};
 use std::path::Path;
 
 pub mod cli;
+pub mod flight;
 pub mod json;
 
 use json::Value;
@@ -130,6 +135,9 @@ pub struct RoundSample {
     pub max_edge_words: usize,
     /// Congestion violations recorded this round.
     pub congestion_violations: u64,
+    /// Words sitting in vertex-local forwarding queues at the end of the
+    /// round (store-and-forward protocols only; 0 elsewhere).
+    pub queued_words: usize,
 }
 
 /// Identifies an open span; returned by [`Recorder::begin`].
@@ -170,6 +178,7 @@ pub struct Recorder {
     open: Vec<usize>,
     series: Vec<RoundSample>,
     run_memory: Option<MemoryDist>,
+    records: Vec<Value>,
 }
 
 impl Recorder {
@@ -293,6 +302,20 @@ impl Recorder {
         }
     }
 
+    /// Append a free-form record (e.g. a [`flight::PacketTrace`] or
+    /// [`flight::EdgeLoadMap`] serialization) to the report. Records are
+    /// written after the spans and round series, before the summary.
+    pub fn add_record(&mut self, record: Value) {
+        if self.enabled {
+            self.records.push(record);
+        }
+    }
+
+    /// Records appended via [`Recorder::add_record`], in order.
+    pub fn records(&self) -> &[Value] {
+        &self.records
+    }
+
     /// Cumulative counters charged so far.
     pub fn totals(&self) -> Counters {
         self.totals
@@ -309,8 +332,10 @@ impl Recorder {
     }
 
     /// Serialize the run as JSONL: one `span` record per closed span (begin
-    /// order), one `round_series` record when the engine hook fired, and a
-    /// trailing `run_summary` carrying the totals plus `extra` fields.
+    /// order), one `round_series` record when the engine hook fired, any
+    /// records appended via [`Recorder::add_record`] (packet traces, load
+    /// heatmaps, histograms), and a trailing `run_summary` carrying the
+    /// totals plus `extra` fields.
     ///
     /// # Errors
     ///
@@ -360,6 +385,7 @@ impl Recorder {
                             "congestion_violations",
                             Value::from(s.congestion_violations),
                         ),
+                        ("queued_words", Value::from(s.queued_words as u64)),
                     ])
                 })
                 .collect();
@@ -367,6 +393,9 @@ impl Recorder {
                 ("type", Value::from("round_series")),
                 ("samples", Value::Array(samples)),
             ]);
+            writeln!(out, "{record}")?;
+        }
+        for record in &self.records {
             writeln!(out, "{record}")?;
         }
         let peak = self
@@ -386,6 +415,7 @@ impl Recorder {
                 "spans",
                 Value::from(self.spans.iter().filter(|s| s.closed).count() as u64),
             ),
+            ("records", Value::from(self.records.len() as u64)),
         ];
         if let Some(m) = self.run_memory {
             fields.push(("memory", m.to_value()));
@@ -450,11 +480,13 @@ mod tests {
         let id = rec.begin("phase");
         rec.charge_rounds(100);
         rec.record_round(RoundSample::default());
+        rec.add_record(Value::from("ignored"));
         rec.end(id);
         assert!(!rec.is_enabled());
         assert_eq!(rec.totals(), Counters::ZERO);
         assert!(rec.spans().is_empty());
         assert!(rec.series().is_empty());
+        assert!(rec.records().is_empty());
     }
 
     #[test]
@@ -484,8 +516,12 @@ mod tests {
             words: 7,
             max_edge_words: 2,
             congestion_violations: 0,
+            queued_words: 3,
         });
         rec.set_run_memory(&[4, 10, 6]);
+        let mut edges = flight::EdgeLoadMap::new();
+        edges.record(0, 1, 7);
+        rec.add_record(edges.to_value(&[]));
 
         let dir = std::env::temp_dir().join("obs-unit-test");
         std::fs::create_dir_all(&dir).unwrap();
@@ -494,11 +530,18 @@ mod tests {
             .unwrap();
 
         let records = read_report(&path).unwrap();
-        assert_eq!(records.len(), 5); // 3 spans + series + summary
+        assert_eq!(records.len(), 6); // 3 spans + series + edge_load + summary
         let summary = records.last().unwrap();
         assert_eq!(summary.get("type").unwrap().as_str(), Some("run_summary"));
         assert_eq!(summary.get("k").unwrap().as_u64(), Some(2));
         assert_eq!(summary.get("peak_memory_words").unwrap().as_u64(), Some(10));
+        assert_eq!(summary.get("records").unwrap().as_u64(), Some(1));
+        let edge_record = records
+            .iter()
+            .find(|r| r.get("type").and_then(Value::as_str) == Some("edge_load"))
+            .expect("edge_load record written");
+        let parsed = flight::EdgeLoadMap::from_value(edge_record).unwrap();
+        assert_eq!(parsed.total_words(), 7);
         let top_spans: Vec<&Value> = records
             .iter()
             .filter(|r| r.get("type").and_then(Value::as_str) == Some("span"))

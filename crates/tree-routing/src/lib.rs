@@ -47,4 +47,4 @@ pub mod types;
 pub mod tz;
 
 pub use router::{route, RouteError, RouteTrace};
-pub use types::{RouteAction, TreeLabel, TreeScheme, TreeTable};
+pub use types::{ForwardingDecision, RouteAction, TreeLabel, TreeScheme, TreeTable};

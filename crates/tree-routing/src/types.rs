@@ -70,12 +70,88 @@ pub enum RouteAction {
     Forward(VertexId),
 }
 
-/// The Thorup–Zwick forwarding rule: decide the next hop toward `label`'s
-/// target from vertex `me`, which owns `table`.
+/// A forwarding decision with its *reason* exposed — which branch of the
+/// Thorup–Zwick rule chose the port. The flight recorder attributes each
+/// hop's cost to ascent (toward the committed tree's root) or descent
+/// (down a light or heavy edge), which is exactly this distinction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ForwardingDecision {
+    /// The message has arrived.
+    Deliver,
+    /// The target is outside our subtree: ascend to the parent.
+    Ascend(VertexId),
+    /// The target is below us via a light edge listed in its label.
+    DescendLight(VertexId),
+    /// The target is below us via the heavy-child edge.
+    DescendHeavy(VertexId),
+}
+
+impl ForwardingDecision {
+    /// Collapse the reason, keeping only deliver-vs-forward.
+    pub fn action(self) -> RouteAction {
+        match self {
+            ForwardingDecision::Deliver => RouteAction::Deliver,
+            ForwardingDecision::Ascend(next)
+            | ForwardingDecision::DescendLight(next)
+            | ForwardingDecision::DescendHeavy(next) => RouteAction::Forward(next),
+        }
+    }
+
+    /// The chosen next hop (`None` on delivery).
+    pub fn next_hop(self) -> Option<VertexId> {
+        match self {
+            ForwardingDecision::Deliver => None,
+            ForwardingDecision::Ascend(next)
+            | ForwardingDecision::DescendLight(next)
+            | ForwardingDecision::DescendHeavy(next) => Some(next),
+        }
+    }
+}
+
+/// The Thorup–Zwick forwarding rule with the decision kind exposed: decide
+/// the next hop toward `label`'s target from vertex `me`, which owns
+/// `table`, and say *why* that port was chosen.
 ///
 /// Returns `None` when the rule cannot make progress — the target is outside
 /// the tree (the root sees an entry time outside its interval) or the table
 /// is inconsistent; the caller reports this as a routing error.
+///
+/// # Examples
+///
+/// ```
+/// use tree_routing::types::{route_decision, ForwardingDecision, TreeLabel, TreeTable};
+/// use graphs::VertexId;
+///
+/// // Root [0..=1] with a single (heavy) child whose entry time is 1.
+/// let root = TreeTable { enter: 0, exit: 1, parent: None, heavy: Some(VertexId(5)) };
+/// let target = TreeLabel { enter: 1, light: vec![] };
+/// assert_eq!(
+///     route_decision(VertexId(0), &root, &target),
+///     Some(ForwardingDecision::DescendHeavy(VertexId(5)))
+/// );
+/// ```
+pub fn route_decision(
+    me: VertexId,
+    table: &TreeTable,
+    label: &TreeLabel,
+) -> Option<ForwardingDecision> {
+    if label.enter == table.enter {
+        return Some(ForwardingDecision::Deliver);
+    }
+    if !table.subtree_contains(label) {
+        // Target is above or beside us: go to the parent.
+        return table.parent.map(ForwardingDecision::Ascend);
+    }
+    // Target is strictly below us: take the listed light edge if one leaves
+    // here, otherwise the heavy edge.
+    if let Some(&(_, child)) = label.light.iter().find(|&&(pe, _)| pe == me) {
+        return Some(ForwardingDecision::DescendLight(child));
+    }
+    table.heavy.map(ForwardingDecision::DescendHeavy)
+}
+
+/// The forwarding rule without the reason: [`route_decision`] collapsed to
+/// deliver-vs-forward.
 ///
 /// # Examples
 ///
@@ -92,19 +168,7 @@ pub enum RouteAction {
 /// );
 /// ```
 pub fn route_step(me: VertexId, table: &TreeTable, label: &TreeLabel) -> Option<RouteAction> {
-    if label.enter == table.enter {
-        return Some(RouteAction::Deliver);
-    }
-    if !table.subtree_contains(label) {
-        // Target is above or beside us: go to the parent.
-        return table.parent.map(RouteAction::Forward);
-    }
-    // Target is strictly below us: take the listed light edge if one leaves
-    // here, otherwise the heavy edge.
-    if let Some(&(_, child)) = label.light.iter().find(|&&(pe, _)| pe == me) {
-        return Some(RouteAction::Forward(child));
-    }
-    table.heavy.map(RouteAction::Forward)
+    route_decision(me, table, label).map(ForwardingDecision::action)
 }
 
 /// A complete tree routing scheme: one table and one label per host vertex
@@ -237,6 +301,63 @@ mod tests {
             route_step(VertexId(3), &t, &l),
             Some(RouteAction::Forward(VertexId(2)))
         );
+    }
+
+    #[test]
+    fn decision_exposes_the_reason_behind_each_port() {
+        let t = table(4, 8, Some(9), Some(2));
+        // Outside the subtree: ascend.
+        let above = TreeLabel {
+            enter: 2,
+            light: vec![],
+        };
+        assert_eq!(
+            route_decision(VertexId(3), &t, &above),
+            Some(ForwardingDecision::Ascend(VertexId(9)))
+        );
+        // Below via a listed light edge.
+        let light = TreeLabel {
+            enter: 6,
+            light: vec![(VertexId(3), VertexId(7))],
+        };
+        assert_eq!(
+            route_decision(VertexId(3), &t, &light),
+            Some(ForwardingDecision::DescendLight(VertexId(7)))
+        );
+        // Below via the heavy child.
+        let heavy = TreeLabel {
+            enter: 6,
+            light: vec![],
+        };
+        assert_eq!(
+            route_decision(VertexId(3), &t, &heavy),
+            Some(ForwardingDecision::DescendHeavy(VertexId(2)))
+        );
+        // Identity: deliver, no next hop.
+        let own = TreeLabel {
+            enter: 4,
+            light: vec![],
+        };
+        let d = route_decision(VertexId(3), &t, &own).unwrap();
+        assert_eq!(d, ForwardingDecision::Deliver);
+        assert_eq!(d.next_hop(), None);
+        assert_eq!(d.action(), RouteAction::Deliver);
+    }
+
+    #[test]
+    fn decision_and_step_always_agree() {
+        let t = table(4, 8, Some(9), Some(2));
+        for enter in 0..12u64 {
+            let l = TreeLabel {
+                enter,
+                light: vec![(VertexId(3), VertexId(7))],
+            };
+            assert_eq!(
+                route_step(VertexId(3), &t, &l),
+                route_decision(VertexId(3), &t, &l).map(ForwardingDecision::action),
+                "enter time {enter}"
+            );
+        }
     }
 
     #[test]

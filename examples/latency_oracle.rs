@@ -78,11 +78,12 @@ fn main() {
     // packet itself is O(log n) words.
     let net = congest::Network::new(g);
     let report = packet::send(&net, &built.scheme, pairs[0].0, pairs[0].1);
+    let (rounds, _) = report.outcome.delivery().expect("expander is connected");
     println!(
         "\npacket simulation {} -> {}: delivered in {} rounds, packet = {} words, zero congestion violations: {}",
         pairs[0].0,
         pairs[0].1,
-        report.rounds,
+        rounds,
         report.packet_words,
         report.stats.congestion_violations == 0
     );

@@ -9,14 +9,25 @@
 //! drt build    <graph-file> <k> <out-file>  # preprocess; save scheme bytes
 //! drt route    <graph-file> <scheme-file> <src> <dst>
 //! drt query    <graph-file> <scheme-file> <src> <dst>   # oracle distance
+//! drt trace    <graph-file> <scheme-file> <src> <dst>   # flight-recorded send
 //! drt stretch  <graph-file> <scheme-file> [sources]     # stretch statistics
+//! drt report   <report-file>                            # validate a JSONL report
 //! ```
 //!
 //! Graph files use the [`graphs::io`] edge-list format.
 //!
-//! `drt build` additionally accepts `--report <path>` (or the `DRT_REPORT`
-//! environment variable) to write a JSONL run report of the construction's
-//! phase spans alongside the scheme file.
+//! `drt route` walks the forwarding rule centrally; `drt trace` sends a real
+//! packet through the CONGEST engine with the flight recorder on and prints
+//! the hop-by-hop journey — round, port, forwarding-decision kind, queueing
+//! delay, accumulated weight — plus the ascent/descent decomposition, and
+//! cross-checks the accumulated weight against the central router.
+//!
+//! `drt build` and `drt trace` additionally accept `--report <path>` (or the
+//! `DRT_REPORT` environment variable) to write a JSONL run report: phase
+//! spans for `build`, a `packet_trace` record for `trace`. `drt report`
+//! reads such a file back, validates every record it knows
+//! (`packet_trace`, `edge_load`, `vertex_load`, `stretch_histogram`), and
+//! prints per-type counts.
 
 use std::process::ExitCode;
 
@@ -25,7 +36,7 @@ use obs::json::Value;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use routing::oracle::DistanceOracle;
-use routing::{build_observed, persist, router, BuildParams};
+use routing::{build_observed, packet, persist, router, BuildParams};
 
 fn main() -> ExitCode {
     let (opts, args) = obs::cli::ReportOptions::from_env();
@@ -35,9 +46,13 @@ fn main() -> ExitCode {
         Some("build") => cmd_build(&args[1..], &opts),
         Some("route") => cmd_route(&args[1..], false),
         Some("query") => cmd_route(&args[1..], true),
+        Some("trace") => cmd_trace(&args[1..], &opts),
         Some("stretch") => cmd_stretch(&args[1..]),
+        Some("report") => cmd_report(&args[1..]),
         _ => {
-            eprintln!("usage: drt <generate|info|build|route|query|stretch> ... (see crate docs)");
+            eprintln!(
+                "usage: drt <generate|info|build|route|query|trace|stretch|report> ... (see crate docs)"
+            );
             return ExitCode::FAILURE;
         }
     };
@@ -196,6 +211,146 @@ fn cmd_route(args: &[String], oracle_only: bool) -> Result<(), String> {
             .collect::<Vec<_>>()
             .join(" -> ")
     );
+    Ok(())
+}
+
+fn cmd_trace(args: &[String], opts: &obs::cli::ReportOptions) -> Result<(), String> {
+    let [graph_path, scheme_path, src, dst] = args else {
+        return Err("trace <graph-file> <scheme-file> <src> <dst> [--report <path>]".into());
+    };
+    let g = load_graph(graph_path)?;
+    let scheme = load_scheme(scheme_path)?;
+    let s = parse_vertex(&g, src)?;
+    let t = parse_vertex(&g, dst)?;
+    let central = router::route(&g, &scheme, s, t);
+    let net = congest::Network::new(g);
+    let flight = packet::send_traced(&net, &scheme, s, t);
+    match flight.report.outcome {
+        packet::PacketOutcome::NoCommonTree => {
+            return Err(format!(
+                "{s} -> {t}: no common tree (disconnected pair); nothing to trace"
+            ));
+        }
+        packet::PacketOutcome::Stuck(v) => {
+            return Err(format!(
+                "{s} -> {t}: packet got stuck at {v} — scheme/graph mismatch?"
+            ));
+        }
+        packet::PacketOutcome::Delivered { .. } => {}
+    }
+    let trace = flight.trace.as_ref().expect("delivered packets are traced");
+    println!(
+        "trace {s} -> {t} via tree of {} ({} words on the wire):",
+        trace.tree_root, flight.report.packet_words
+    );
+    println!(
+        "{:>4} {:>6} {:>7} {:>5} {:>7} {:<14} {:>6} {:>7}",
+        "hop", "round", "vertex", "port", "next", "kind", "queue", "weight"
+    );
+    for (i, h) in trace.hops.iter().enumerate() {
+        println!(
+            "{:>4} {:>6} {:>7} {:>5} {:>7} {:<14} {:>6} {:>7}",
+            i + 1,
+            h.round,
+            h.vertex,
+            h.port,
+            h.next,
+            h.kind.name(),
+            h.queue_delay,
+            h.weight
+        );
+    }
+    let d = trace.decomposition();
+    let delivered = trace.delivered_round.expect("delivered");
+    println!(
+        "delivered at round {delivered}: {} hops + {} queueing rounds",
+        trace.hop_count(),
+        d.queue_rounds
+    );
+    println!(
+        "weight {} = ascent {} ({} hops) + descent {} ({} hops)",
+        trace.total_weight(),
+        d.ascent_weight,
+        d.ascent_hops,
+        d.descent_weight,
+        d.descent_hops
+    );
+    // The engine-routed packet and the central walker must agree exactly —
+    // they execute the same forwarding rule.
+    let central = central.map_err(|e| format!("central router disagrees: {e}"))?;
+    if central.weight != trace.total_weight() || central.hops() != trace.hop_count() {
+        return Err(format!(
+            "flight recorder ({} over {} hops) disagrees with central router ({} over {} hops)",
+            trace.total_weight(),
+            trace.hop_count(),
+            central.weight,
+            central.hops()
+        ));
+    }
+    println!(
+        "cross-check: central router agrees (weight {})",
+        central.weight
+    );
+    if let Some(path) = &opts.report {
+        let mut rec = obs::Recorder::when(true);
+        let span = rec.begin("drt/trace");
+        rec.charge(&obs::Counters {
+            rounds: flight.report.stats.rounds,
+            messages: flight.report.stats.messages,
+            words: flight.report.stats.words,
+            broadcasts: 0,
+        });
+        rec.end(span);
+        rec.add_record(trace.to_value());
+        rec.write_report(
+            path,
+            "drt-trace",
+            &[
+                ("graph", Value::from(graph_path.as_str())),
+                ("src", Value::from(u64::from(s.0))),
+                ("dst", Value::from(u64::from(t.0))),
+            ],
+        )
+        .map_err(|e| format!("writing report {}: {e}", path.display()))?;
+        println!("report written to {}", path.display());
+    }
+    Ok(())
+}
+
+fn cmd_report(args: &[String]) -> Result<(), String> {
+    let [path] = args else {
+        return Err("report <report-file>".into());
+    };
+    let records = obs::read_report(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let mut counts: Vec<(String, usize)> = Vec::new();
+    for (i, record) in records.iter().enumerate() {
+        let ty = record
+            .get("type")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("record {i}: missing 'type'"))?
+            .to_string();
+        // Validate every record type the flight recorder knows; the
+        // others (span, round_series, run_summary) are structural and
+        // already survived `read_report`'s JSON parse.
+        let check = |r: Result<(), String>| r.map_err(|e| format!("record {i} ({ty}): {e}"));
+        match ty.as_str() {
+            "packet_trace" => check(obs::flight::PacketTrace::from_value(record).map(|_| ()))?,
+            "edge_load" => check(obs::flight::EdgeLoadMap::from_value(record).map(|_| ()))?,
+            "vertex_load" => check(obs::flight::VertexLoadMap::from_value(record).map(|_| ()))?,
+            "stretch_histogram" => {
+                check(obs::flight::Histogram::from_value(record).map(|_| ()))?;
+            }
+            _ => {}
+        }
+        match counts.iter_mut().find(|(t, _)| *t == ty) {
+            Some((_, c)) => *c += 1,
+            None => counts.push((ty, 1)),
+        }
+    }
+    println!("{path}: {} records, all valid", records.len());
+    for (ty, c) in counts {
+        println!("  {ty:<18} {c}");
+    }
     Ok(())
 }
 

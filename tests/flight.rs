@@ -1,0 +1,227 @@
+//! End-to-end flight-recorder invariants, across `obs::flight`,
+//! `core::packet`, and the congestion engine:
+//!
+//! * a traced send is observationally identical to its untraced twin —
+//!   same outcome, rounds, words, and memory peaks;
+//! * a delivered trace reconstructs the journey exactly: hop count equals
+//!   the delivery round (minus queueing), accumulated weight equals the
+//!   central router's answer, and the ascent/descent decomposition
+//!   partitions both;
+//! * the edge/vertex heatmaps account for every word the engine delivered;
+//! * the whole record set survives a JSONL write → read → parse round trip.
+
+use graphs::{GraphBuilder, VertexId};
+use obs::flight::{EdgeLoadMap, PacketTrace, VertexLoadMap};
+use obs::json::Value;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use routing::{build, packet, router, BuildParams};
+
+fn setup(n: usize, seed: u64) -> (congest::Network, routing::RoutingScheme) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let g = graphs::generators::erdos_renyi_connected(n, 3.5 / n as f64, 1..=9, &mut rng);
+    let built = build(&g, &BuildParams::new(3), &mut rng);
+    (congest::Network::new(g), built.scheme)
+}
+
+#[test]
+fn traced_send_agrees_with_untraced_and_central() {
+    let (net, scheme) = setup(120, 41);
+    for (s, t) in [(0u32, 119u32), (17, 64), (99, 3), (5, 5)] {
+        let plain = packet::send(&net, &scheme, VertexId(s), VertexId(t));
+        let flight = packet::send_traced(&net, &scheme, VertexId(s), VertexId(t));
+        assert_eq!(plain.outcome, flight.report.outcome);
+        assert_eq!(plain.stats.rounds, flight.report.stats.rounds);
+        assert_eq!(plain.stats.words, flight.report.stats.words);
+        assert_eq!(
+            plain.stats.memory.max_peak(),
+            flight.report.stats.memory.max_peak()
+        );
+        let (rounds, weight) = plain.outcome.delivery().expect("connected");
+        let trace = flight.trace.expect("delivered packets are traced");
+        assert_eq!(trace.hop_count() as u64, rounds);
+        assert_eq!(trace.total_weight(), weight);
+        let central = router::route(net.graph(), &scheme, VertexId(s), VertexId(t)).unwrap();
+        assert_eq!(trace.total_weight(), central.weight);
+        assert_eq!(trace.hop_count(), central.hops());
+        // The recorded ports really are the edges of the walked path.
+        for (hop, pair) in trace.hops.iter().zip(central.path.windows(2)) {
+            assert_eq!(hop.vertex, pair[0].0);
+            assert_eq!(hop.next, pair[1].0);
+            assert_eq!(net.neighbor_at(pair[0], hop.port), pair[1]);
+        }
+    }
+}
+
+#[test]
+fn batch_heatmaps_account_for_every_engine_word() {
+    let (net, scheme) = setup(90, 42);
+    let pairs: Vec<(VertexId, VertexId)> = (0..70u32)
+        .map(|i| (VertexId(i % 90), VertexId((i * 31 + 17) % 90)))
+        .filter(|(a, b)| a != b)
+        .collect();
+    let flight = packet::send_many_traced(&net, &scheme, &pairs);
+    assert_eq!(flight.report.dropped, 0);
+    assert_eq!(flight.report.undeliverable, 0);
+    // Every word the engine's ledger saw is attributed to exactly one edge
+    // and one forwarding vertex.
+    assert_eq!(flight.edge_load.total_words(), flight.report.stats.words);
+    assert_eq!(flight.vertex_load.total_words(), flight.report.stats.words);
+    assert_eq!(
+        flight.edge_load.total_packets(),
+        flight.report.stats.messages
+    );
+    // And per packet, delivery time = hops + queueing.
+    for (id, trace) in flight.traces.iter().enumerate() {
+        let trace = trace.as_ref().expect("all pairs routable");
+        let (round, weight) = flight.report.delivery(id).expect("delivered");
+        assert_eq!(round, trace.hop_count() as u64 + trace.queueing_delay());
+        let d = trace.decomposition();
+        assert_eq!(d.ascent_weight + d.descent_weight, weight);
+    }
+}
+
+#[test]
+fn flight_records_survive_a_report_round_trip() {
+    let (net, scheme) = setup(60, 43);
+    let pairs: Vec<(VertexId, VertexId)> = (1..30u32).map(|i| (VertexId(i), VertexId(0))).collect();
+    let flight = packet::send_many_traced(&net, &scheme, &pairs);
+
+    let mut rec = obs::Recorder::new();
+    let span = rec.begin("flight-test/batch");
+    rec.charge(&obs::Counters {
+        rounds: flight.report.stats.rounds,
+        messages: flight.report.stats.messages,
+        words: flight.report.stats.words,
+        broadcasts: 0,
+    });
+    rec.end(span);
+    rec.add_record(flight.edge_load.to_value(&[]));
+    rec.add_record(flight.vertex_load.to_value(&[]));
+    for trace in flight.traces.iter().flatten().take(3) {
+        rec.add_record(trace.to_value());
+    }
+
+    let path = std::env::temp_dir().join(format!("drt-flight-test-{}.jsonl", std::process::id()));
+    rec.write_report(&path, "flight-test", &[])
+        .expect("written");
+    let records = obs::read_report(&path).expect("parses");
+    std::fs::remove_file(&path).ok();
+
+    let of_type = |ty: &str| {
+        records
+            .iter()
+            .filter(|r| r.get("type").and_then(Value::as_str) == Some(ty))
+            .collect::<Vec<_>>()
+    };
+    let edge_records = of_type("edge_load");
+    assert_eq!(edge_records.len(), 1);
+    let edges = EdgeLoadMap::from_value(edge_records[0]).expect("valid edge_load");
+    assert_eq!(edges.total_words(), flight.edge_load.total_words());
+    let vertex_records = of_type("vertex_load");
+    assert_eq!(vertex_records.len(), 1);
+    let verts = VertexLoadMap::from_value(vertex_records[0]).expect("valid vertex_load");
+    assert_eq!(verts.total_words(), flight.vertex_load.total_words());
+    for (i, r) in of_type("packet_trace").iter().enumerate() {
+        let parsed = PacketTrace::from_value(r).expect("valid packet_trace");
+        assert_eq!(&parsed, flight.traces[i].as_ref().unwrap());
+    }
+    // The summary counts the extra records.
+    let summary = records.last().unwrap();
+    assert_eq!(
+        summary.get("records").and_then(Value::as_u64),
+        Some(2 + 3),
+        "summary counts the flight records"
+    );
+}
+
+/// A connected random weighted graph, as in `tests/properties.rs`.
+fn arb_graph(max_n: usize) -> impl Strategy<Value = graphs::Graph> {
+    (4..max_n)
+        .prop_flat_map(|n| {
+            let tree_parents = proptest::collection::vec(0..u32::MAX, n - 1);
+            let tree_weights = proptest::collection::vec(1u64..50, n - 1);
+            let extras = proptest::collection::vec((0..u32::MAX, 0..u32::MAX, 1u64..50), 0..n);
+            (Just(n), tree_parents, tree_weights, extras)
+        })
+        .prop_map(|(n, parents, weights, extras)| {
+            let mut b = GraphBuilder::new(n);
+            for v in 1..n {
+                let p = (parents[v - 1] as usize) % v;
+                b.add_edge(VertexId(p as u32), VertexId(v as u32), weights[v - 1]);
+            }
+            for (x, y, w) in extras {
+                let u = (x as usize) % n;
+                let v = (y as usize) % n;
+                if u != v && !b.has_edge(VertexId(u as u32), VertexId(v as u32)) {
+                    b.add_edge(VertexId(u as u32), VertexId(v as u32), w);
+                }
+            }
+            b.build()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn traced_batches_reconstruct_deliveries_on_random_graphs(
+        g in arb_graph(36),
+        pair_sels in proptest::collection::vec((0..u32::MAX, 0..u32::MAX), 1..24),
+        seed in 0..u64::MAX,
+    ) {
+        let n = g.num_vertices() as u32;
+        let pairs: Vec<(VertexId, VertexId)> = pair_sels
+            .into_iter()
+            .map(|(a, b)| (VertexId(a % n), VertexId(b % n)))
+            .collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let built = build(&g, &BuildParams::new(2), &mut rng);
+        let net = congest::Network::new(g);
+
+        let plain = packet::send_many(&net, &built.scheme, &pairs);
+        let flight = packet::send_many_traced(&net, &built.scheme, &pairs);
+
+        // Tracing is invisible to the simulation.
+        prop_assert_eq!(&plain.outcomes, &flight.report.outcomes);
+        prop_assert_eq!(plain.undeliverable, flight.report.undeliverable);
+        prop_assert_eq!(plain.dropped, flight.report.dropped);
+        prop_assert_eq!(plain.stats.rounds, flight.report.stats.rounds);
+        prop_assert_eq!(plain.stats.words, flight.report.stats.words);
+        prop_assert_eq!(
+            plain.stats.memory.max_peak(),
+            flight.report.stats.memory.max_peak()
+        );
+
+        // Heatmaps account for every delivered word, drops included.
+        prop_assert_eq!(flight.edge_load.total_words(), flight.report.stats.words);
+        prop_assert_eq!(flight.vertex_load.total_words(), flight.report.stats.words);
+
+        // Per packet: a trace exists iff the packet was injected, and a
+        // delivered trace explains its delivery round and weight exactly.
+        for (id, outcome) in flight.report.outcomes.iter().enumerate() {
+            match outcome {
+                packet::DeliveryStatus::Undeliverable => {
+                    prop_assert!(flight.traces[id].is_none());
+                }
+                packet::DeliveryStatus::Dropped => {
+                    let trace = flight.traces[id].as_ref().expect("partial trace kept");
+                    prop_assert!(trace.delivered_round.is_none());
+                }
+                packet::DeliveryStatus::Delivered { round, weight } => {
+                    let trace = flight.traces[id].as_ref().expect("trace kept");
+                    prop_assert_eq!(trace.delivered_round, Some(*round));
+                    prop_assert_eq!(trace.total_weight(), *weight);
+                    prop_assert_eq!(
+                        *round,
+                        trace.hop_count() as u64 + trace.queueing_delay()
+                    );
+                    let d = trace.decomposition();
+                    prop_assert_eq!(d.ascent_weight + d.descent_weight, *weight);
+                    prop_assert_eq!(d.ascent_hops + d.descent_hops, trace.hop_count());
+                }
+            }
+        }
+    }
+}

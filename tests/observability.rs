@@ -93,6 +93,28 @@ fn report_spans_partition_run_totals() {
 }
 
 #[test]
+fn report_counts_records_and_samples_carry_queue_occupancy() {
+    let (records, _) = generated_report();
+    let summary = records.last().unwrap();
+    // A plain build appends no flight records, and the summary says so.
+    assert_eq!(get_u64(summary, "records"), 0);
+    // Every time-series sample carries the queue-occupancy column the
+    // flight recorder reads.
+    for r in &records {
+        if r.get("type").and_then(Value::as_str) == Some("round_series") {
+            let samples = r
+                .get("samples")
+                .and_then(Value::as_array)
+                .expect("round_series has samples");
+            assert!(!samples.is_empty());
+            for s in samples {
+                let _ = get_u64(s, "queued_words");
+            }
+        }
+    }
+}
+
+#[test]
 fn observed_build_matches_plain_build() {
     let mut rng1 = ChaCha8Rng::seed_from_u64(11);
     let mut rng2 = ChaCha8Rng::seed_from_u64(11);
