@@ -17,18 +17,16 @@
 //! (no simulated rounds), so the spans carry the per-vertex encoded-table
 //! word distribution in their `memory` field and zero cost deltas.
 
+use bench::sweep::Sweep;
 use bench::{print_header, print_row, Family};
 use congest::WordSized;
 use graphs::rounding::{congest_overhead, prior_overhead, round_weights};
 use graphs::{generators, tree, VertexId};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use tree_routing::encode::{encode_label, encode_table};
 use tree_routing::tz;
 
 fn main() {
-    let (opts, _rest) = obs::cli::ReportOptions::from_env();
-    let mut rec = obs::Recorder::when(opts.reporting());
+    let mut sweep = Sweep::from_env("fig_bits");
     println!("== Fig S4a: tree label/table sizes — words vs encoded bits ==");
     let widths = [8, 12, 12, 12, 12];
     print_header(
@@ -42,33 +40,42 @@ fn main() {
         &widths,
     );
     for n in [256usize, 1024, 4096, 16384] {
-        let mut rng = ChaCha8Rng::seed_from_u64(0xB1 + n as u64);
+        let mut rng = Sweep::rng(0xB1, n as u64);
         let g = Family::ErdosRenyi.generate(n, &mut rng);
         let t = tree::shortest_path_tree(&g, VertexId(0));
-        let span = rec.begin(&format!("fig_bits/encode/n{n}"));
-        let scheme = tz::build(&t);
-        let mut max_label_words = 0;
-        let mut max_label_bits = 0;
-        let mut max_table_words = 0;
-        let mut max_table_bits = 0;
-        let mut per_vertex_words = Vec::with_capacity(n);
-        for v in t.vertices() {
-            let l = scheme.label(v).unwrap();
-            let tb = scheme.table(v).unwrap();
-            max_label_words = max_label_words.max(l.words());
-            max_label_bits = max_label_bits.max(8 * encode_label(l).len());
-            max_table_words = max_table_words.max(tb.words());
-            max_table_bits = max_table_bits.max(8 * encode_table(tb).len());
-            per_vertex_words.push(l.words() + tb.words());
-        }
-        rec.end_with_memory(span, &per_vertex_words);
+        let row = sweep.observed(&format!("fig_bits/encode/n{n}"), |_rec| {
+            let scheme = tz::build(&t);
+            let mut max_label_words = 0;
+            let mut max_label_bits = 0;
+            let mut max_table_words = 0;
+            let mut max_table_bits = 0;
+            let mut per_vertex_words = Vec::with_capacity(n);
+            for v in t.vertices() {
+                let l = scheme.label(v).unwrap();
+                let tb = scheme.table(v).unwrap();
+                max_label_words = max_label_words.max(l.words());
+                max_label_bits = max_label_bits.max(8 * encode_label(l).len());
+                max_table_words = max_table_words.max(tb.words());
+                max_table_bits = max_table_bits.max(8 * encode_table(tb).len());
+                per_vertex_words.push(l.words() + tb.words());
+            }
+            (
+                [
+                    max_label_words,
+                    max_label_bits,
+                    max_table_words,
+                    max_table_bits,
+                ],
+                per_vertex_words,
+            )
+        });
         print_row(
             &[
                 n.to_string(),
-                max_label_words.to_string(),
-                max_label_bits.to_string(),
-                max_table_words.to_string(),
-                max_table_bits.to_string(),
+                row[0].to_string(),
+                row[1].to_string(),
+                row[2].to_string(),
+                row[3].to_string(),
             ],
             &widths,
         );
@@ -89,7 +96,7 @@ fn main() {
     );
     let n = 1024;
     for max_w in [10u64, 1_000, 100_000, 10_000_000] {
-        let mut rng = ChaCha8Rng::seed_from_u64(0xB2 + max_w);
+        let mut rng = Sweep::rng(0xB2, max_w);
         let g = generators::erdos_renyi_connected(n, 4.0 / n as f64, 1..=max_w, &mut rng);
         let r = round_weights(&g, 0.05);
         print_row(
@@ -105,8 +112,5 @@ fn main() {
     }
     println!("(our overhead column stays at 1.0 — one O(log n)-bit message per rounded");
     println!(" weight — while the prior column grows with log Λ)");
-    if let Some(path) = &opts.report {
-        rec.write_report(path, "fig_bits", &[])
-            .unwrap_or_else(|e| eprintln!("failed to write report {}: {e}", path.display()));
-    }
+    sweep.finish();
 }

@@ -14,22 +14,24 @@
 //! `fig_load/p<packets>` span per load level, charged with the routing
 //! phase's engine-measured rounds/messages/words.
 
+use bench::sweep::Sweep;
 use bench::{print_header, print_row, Family};
 use congest::Network;
 use graphs::VertexId;
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use rand::Rng;
 use routing::{build_observed, packet, BuildParams};
 
 fn main() {
-    let (opts, _rest) = obs::cli::ReportOptions::from_env();
-    let mut rec = obs::Recorder::when(opts.reporting());
+    let mut sweep = Sweep::from_env("fig_load");
+    let reporting = sweep.reporting();
     let n = 400;
-    let mut rng = ChaCha8Rng::seed_from_u64(0xC1);
+    let mut rng = Sweep::rng(0xC1, 0);
     let g = Family::ErdosRenyi.generate(n, &mut rng);
-    let span = rec.begin("fig_load/build");
-    let built = build_observed(&g, &BuildParams::new(3), &mut rng, &mut rec);
-    rec.end_with_memory(span, built.report.memory.peaks());
+    let built = sweep.observed("fig_load/build", |rec| {
+        let built = build_observed(&g, &BuildParams::new(3), &mut rng, rec);
+        let peaks = built.report.memory.peaks().to_vec();
+        (built, peaks)
+    });
     let net = Network::new(g);
     println!("== Fig S5: batched routing under load (n = {n}, k = 3) ==\n");
     let widths = [10, 10, 10, 12, 12, 10];
@@ -55,30 +57,32 @@ fn main() {
                 (VertexId(a), VertexId(b))
             })
             .collect();
-        let span = rec.begin(&format!("fig_load/p{load}"));
-        // When reporting, run the flight-recorded twin: the report is
-        // identical to the untraced run's (pinned by core's tests), so
-        // stdout stays byte-for-byte the same, and the heatmaps become
-        // `edge_load`/`vertex_load` records in the JSONL report.
-        let report = if opts.reporting() {
-            let flight = packet::send_many_traced(&net, &built.scheme, &pairs);
-            let extra = [
-                ("figure", obs::json::Value::from("fig_load")),
-                ("packets", obs::json::Value::from(load)),
-            ];
-            rec.add_record(flight.edge_load.to_value(&extra));
-            rec.add_record(flight.vertex_load.to_value(&extra));
-            flight.report
-        } else {
-            packet::send_many(&net, &built.scheme, &pairs)
-        };
-        rec.charge(&obs::Counters {
-            rounds: report.stats.rounds,
-            messages: report.stats.messages,
-            words: report.stats.words,
-            broadcasts: 0,
+        let report = sweep.observed(&format!("fig_load/p{load}"), |rec| {
+            // When reporting, run the flight-recorded twin: the report is
+            // identical to the untraced run's (pinned by core's tests), so
+            // stdout stays byte-for-byte the same, and the heatmaps become
+            // `edge_load`/`vertex_load` records in the JSONL report.
+            let report = if reporting {
+                let flight = packet::send_many_traced(&net, &built.scheme, &pairs);
+                let extra = [
+                    ("figure", obs::json::Value::from("fig_load")),
+                    ("packets", obs::json::Value::from(load)),
+                ];
+                rec.add_record(flight.edge_load.to_value(&extra));
+                rec.add_record(flight.vertex_load.to_value(&extra));
+                flight.report
+            } else {
+                packet::send_many(&net, &built.scheme, &pairs)
+            };
+            rec.charge(&obs::Counters {
+                rounds: report.stats.rounds,
+                messages: report.stats.messages,
+                words: report.stats.words,
+                broadcasts: 0,
+            });
+            let peaks = report.stats.memory.peaks().to_vec();
+            (report, peaks)
         });
-        rec.end_with_memory(span, report.stats.memory.peaks());
         let delays: Vec<u64> = report.deliveries().flatten().map(|(r, _)| r).collect();
         let delivered = delays.len();
         let mean = delays.iter().sum::<u64>() as f64 / delivered.max(1) as f64;
@@ -97,8 +101,5 @@ fn main() {
     }
     println!("\n(delays are rounds from injection to delivery; all packets drain because");
     println!(" per-tree forwarding is loop-free — growth in max delay is pure queueing)");
-    if let Some(path) = &opts.report {
-        rec.write_report(path, "fig_load", &[])
-            .unwrap_or_else(|e| eprintln!("failed to write report {}: {e}", path.display()));
-    }
+    sweep.finish();
 }

@@ -9,34 +9,36 @@
 //! `--report <path>` (or `DRT_REPORT`) writes a JSONL run report with
 //! `fig_memory_vs_k/k<k>/{ours,prior}` spans per build.
 
+use bench::sweep::Sweep;
 use bench::{print_header, print_row, Family};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use routing::{build_observed, BuildParams, Mode};
 
 fn main() {
-    let (opts, _rest) = obs::cli::ReportOptions::from_env();
-    let mut rec = obs::Recorder::when(opts.reporting());
+    let mut sweep = Sweep::from_env("fig_memory_vs_k");
     let n = 1024;
     let widths = [4, 12, 12, 12, 10];
     println!("== Fig S2c: memory vs k (n = {n}) ==\n");
     print_header(&["k", "ours", "prior", "n^(1/k)", "sqrt(n)"], &widths);
-    let mut rng0 = ChaCha8Rng::seed_from_u64(0x81);
+    let mut rng0 = Sweep::rng(0x81, 0);
     let g = Family::ErdosRenyi.generate(n, &mut rng0);
     for k in [2usize, 3, 4, 5, 6] {
-        let mut rng1 = ChaCha8Rng::seed_from_u64(k as u64);
-        let mut rng2 = ChaCha8Rng::seed_from_u64(k as u64);
-        let span = rec.begin(&format!("fig_memory_vs_k/k{k}/ours"));
-        let ours = build_observed(&g, &BuildParams::new(k), &mut rng1, &mut rec);
-        rec.end_with_memory(span, ours.report.memory.peaks());
-        let span = rec.begin(&format!("fig_memory_vs_k/k{k}/prior"));
-        let prior = build_observed(
-            &g,
-            &BuildParams::new(k).with_mode(Mode::DistributedPrior),
-            &mut rng2,
-            &mut rec,
-        );
-        rec.end_with_memory(span, prior.report.memory.peaks());
+        let mut rng1 = Sweep::rng(0, k as u64);
+        let mut rng2 = Sweep::rng(0, k as u64);
+        let ours = sweep.observed(&format!("fig_memory_vs_k/k{k}/ours"), |rec| {
+            let ours = build_observed(&g, &BuildParams::new(k), &mut rng1, rec);
+            let peaks = ours.report.memory.peaks().to_vec();
+            (ours, peaks)
+        });
+        let prior = sweep.observed(&format!("fig_memory_vs_k/k{k}/prior"), |rec| {
+            let prior = build_observed(
+                &g,
+                &BuildParams::new(k).with_mode(Mode::DistributedPrior),
+                &mut rng2,
+                rec,
+            );
+            let peaks = prior.report.memory.peaks().to_vec();
+            (prior, peaks)
+        });
         print_row(
             &[
                 k.to_string(),
@@ -53,8 +55,5 @@ fn main() {
     println!("materialized-E'/T' terms). The asymptotic √n floor of the prior scheme");
     println!("binds only once n^(1/k)·polylog < √n, beyond laptop-scale n for small k —");
     println!("a finite-size effect EXPERIMENTS.md discusses.");
-    if let Some(path) = &opts.report {
-        rec.write_report(path, "fig_memory_vs_k", &[])
-            .unwrap_or_else(|e| eprintln!("failed to write report {}: {e}", path.display()));
-    }
+    sweep.finish();
 }

@@ -10,17 +10,15 @@
 //! `fig_memory_vs_n/scheme/n<n>`); each span's `memory` field carries the
 //! per-vertex peak distribution the figure summarizes.
 
+use bench::sweep::Sweep;
 use bench::{log_log_slope, print_header, print_row, Family};
 use congest::Network;
 use graphs::{tree, VertexId};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use routing::{build, build_observed, BuildParams, Mode};
 use tree_routing::{baseline, distributed};
 
 fn main() {
-    let (opts, _rest) = obs::cli::ReportOptions::from_env();
-    let mut rec = obs::Recorder::when(opts.reporting());
+    let mut sweep = Sweep::from_env("fig_memory_vs_n");
     let widths = [8, 12, 12, 8];
 
     println!("== Fig S2a: tree-routing memory vs n (Theorem 2) ==");
@@ -28,19 +26,21 @@ fn main() {
     let mut ours_pts = Vec::new();
     let mut prior_pts = Vec::new();
     for n in [256usize, 512, 1024, 2048, 4096, 8192] {
-        let mut rng = ChaCha8Rng::seed_from_u64(0x61 + n as u64);
+        let mut rng = Sweep::rng(0x61, n as u64);
         let g = Family::ErdosRenyi.generate(n, &mut rng);
         let t = tree::shortest_path_tree(&g, VertexId(0));
         let net = Network::new(g);
-        let span = rec.begin(&format!("fig_memory_vs_n/tree/n{n}"));
-        let ours = distributed::build_observed(
-            &net,
-            &t,
-            &distributed::Config::default(),
-            &mut rng,
-            &mut rec,
-        );
-        rec.end_with_memory(span, ours.memory.peaks());
+        let ours = sweep.observed(&format!("fig_memory_vs_n/tree/n{n}"), |rec| {
+            let ours = distributed::build_observed(
+                &net,
+                &t,
+                &distributed::Config::default(),
+                &mut rng,
+                rec,
+            );
+            let peaks = ours.memory.peaks().to_vec();
+            (ours, peaks)
+        });
         let prior = baseline::build(&net, &t, None, &mut rng);
         let (a, b) = (ours.memory.max_peak(), prior.memory.max_peak());
         print_row(
@@ -66,13 +66,15 @@ fn main() {
     let mut ours_pts = Vec::new();
     let mut prior_pts = Vec::new();
     for n in [128usize, 256, 512, 1024] {
-        let mut rng = ChaCha8Rng::seed_from_u64(0x62 + n as u64);
+        let mut rng = Sweep::rng(0x62, n as u64);
         let g = Family::ErdosRenyi.generate(n, &mut rng);
-        let mut rng1 = ChaCha8Rng::seed_from_u64(1);
-        let mut rng2 = ChaCha8Rng::seed_from_u64(1);
-        let span = rec.begin(&format!("fig_memory_vs_n/scheme/n{n}"));
-        let ours = build_observed(&g, &BuildParams::new(2), &mut rng1, &mut rec);
-        rec.end_with_memory(span, ours.report.memory.peaks());
+        let mut rng1 = Sweep::rng(1, 0);
+        let mut rng2 = Sweep::rng(1, 0);
+        let ours = sweep.observed(&format!("fig_memory_vs_n/scheme/n{n}"), |rec| {
+            let ours = build_observed(&g, &BuildParams::new(2), &mut rng1, rec);
+            let peaks = ours.report.memory.peaks().to_vec();
+            (ours, peaks)
+        });
         let prior = build(
             &g,
             &BuildParams::new(2).with_mode(Mode::DistributedPrior),
@@ -101,8 +103,5 @@ fn main() {
     );
     println!("note: at k=2 both exponents are ≈ 0.5 — the separation at fixed k=2 is the");
     println!("constant-factor E'/T' materialization; the asymptotic gap opens with k (see fig_memory_vs_k).");
-    if let Some(path) = &opts.report {
-        rec.write_report(path, "fig_memory_vs_n", &[])
-            .unwrap_or_else(|e| eprintln!("failed to write report {}: {e}", path.display()));
-    }
+    sweep.finish();
 }

@@ -12,36 +12,36 @@
 //! span per build (`fig_rounds_vs_n/tree/n<n>`, `fig_rounds_vs_n/scheme/n<n>`),
 //! the construction's stage spans nested beneath each.
 
+use bench::sweep::Sweep;
 use bench::{log_log_slope, print_header, print_row, Family};
 use congest::Network;
 use graphs::{tree, VertexId};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use routing::{build_observed, BuildParams};
 use tree_routing::distributed;
 
 fn main() {
-    let (opts, _rest) = obs::cli::ReportOptions::from_env();
-    let mut rec = obs::Recorder::when(opts.reporting());
+    let mut sweep = Sweep::from_env("fig_rounds_vs_n");
     let widths = [8, 10, 12];
 
     println!("== Fig S1a: tree-routing construction rounds vs n (Theorem 2) ==");
     print_header(&["n", "D", "rounds"], &widths);
     let mut pts = Vec::new();
     for n in [256usize, 512, 1024, 2048, 4096, 8192] {
-        let mut rng = ChaCha8Rng::seed_from_u64(0x51 + n as u64);
+        let mut rng = Sweep::rng(0x51, n as u64);
         let g = Family::ErdosRenyi.generate(n, &mut rng);
         let t = tree::shortest_path_tree(&g, VertexId(0));
         let net = Network::new(g);
-        let span = rec.begin(&format!("fig_rounds_vs_n/tree/n{n}"));
-        let out = distributed::build_observed(
-            &net,
-            &t,
-            &distributed::Config::default(),
-            &mut rng,
-            &mut rec,
-        );
-        rec.end_with_memory(span, out.memory.peaks());
+        let out = sweep.observed(&format!("fig_rounds_vs_n/tree/n{n}"), |rec| {
+            let out = distributed::build_observed(
+                &net,
+                &t,
+                &distributed::Config::default(),
+                &mut rng,
+                rec,
+            );
+            let peaks = out.memory.peaks().to_vec();
+            (out, peaks)
+        });
         print_row(
             &[
                 n.to_string(),
@@ -61,11 +61,13 @@ fn main() {
     print_header(&["n", "D", "rounds"], &widths);
     let mut pts = Vec::new();
     for n in [128usize, 256, 512, 1024] {
-        let mut rng = ChaCha8Rng::seed_from_u64(0x52 + n as u64);
+        let mut rng = Sweep::rng(0x52, n as u64);
         let g = Family::ErdosRenyi.generate(n, &mut rng);
-        let span = rec.begin(&format!("fig_rounds_vs_n/scheme/n{n}"));
-        let built = build_observed(&g, &BuildParams::new(2), &mut rng, &mut rec);
-        rec.end_with_memory(span, built.report.memory.peaks());
+        let built = sweep.observed(&format!("fig_rounds_vs_n/scheme/n{n}"), |rec| {
+            let built = build_observed(&g, &BuildParams::new(2), &mut rng, rec);
+            let peaks = built.report.memory.peaks().to_vec();
+            (built, peaks)
+        });
         print_row(
             &[
                 n.to_string(),
@@ -80,8 +82,5 @@ fn main() {
         "empirical exponent: {:.3}  ((n^(1/2+1/k)+D)·polylog predicts ≈ 1.0 for k=2 plus log slack)",
         log_log_slope(&pts)
     );
-    if let Some(path) = &opts.report {
-        rec.write_report(path, "fig_rounds_vs_n", &[])
-            .unwrap_or_else(|e| eprintln!("failed to write report {}: {e}", path.display()));
-    }
+    sweep.finish();
 }

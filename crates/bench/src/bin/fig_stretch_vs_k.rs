@@ -12,15 +12,13 @@
 //! `stretch_histogram` record per `(family, k, selection)` holding the full
 //! sampled stretch distribution (not just the printed percentiles).
 
+use bench::sweep::Sweep;
 use bench::{print_header, print_row, Family};
 use graphs::VertexId;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use routing::{build_observed, router, BuildParams};
 
 fn main() {
-    let (opts, _rest) = obs::cli::ReportOptions::from_env();
-    let mut rec = obs::Recorder::when(opts.reporting());
+    let mut sweep = Sweep::from_env("fig_stretch_vs_k");
     let n = 512;
     let widths = [4, 10, 10, 8, 8, 9, 11, 10, 10];
     println!("== Fig S3: stretch vs k (n = {n}, this paper's scheme) ==\n");
@@ -41,11 +39,14 @@ fn main() {
             &widths,
         );
         for k in [2usize, 3, 4, 5] {
-            let mut rng = ChaCha8Rng::seed_from_u64(0x71 + k as u64);
+            let mut rng = Sweep::rng(0x71, k as u64);
             let g = family.generate(n, &mut rng);
-            let span = rec.begin(&format!("fig_stretch_vs_k/{}/k{k}", family.name()));
-            let built = build_observed(&g, &BuildParams::new(k), &mut rng, &mut rec);
-            rec.end_with_memory(span, built.report.memory.peaks());
+            let built =
+                sweep.observed(&format!("fig_stretch_vs_k/{}/k{k}", family.name()), |rec| {
+                    let built = build_observed(&g, &BuildParams::new(k), &mut rng, rec);
+                    let peaks = built.report.memory.peaks().to_vec();
+                    (built, peaks)
+                });
             let srcs: Vec<VertexId> = (0..n as u32).step_by(32).map(VertexId).collect();
             let stats =
                 router::measure_stretch(&g, &built.scheme, &srcs, router::Selection::SourceOptimal);
@@ -53,7 +54,7 @@ fn main() {
                 router::measure_stretch(&g, &built.scheme, &srcs, router::Selection::Handshake);
             for (selection, s) in [("source-optimal", &stats), ("handshake", &shake)] {
                 let hist = obs::flight::Histogram::of_stretch(&s.values, 32);
-                rec.add_record(hist.to_value(&[
+                sweep.add_record(hist.to_value(&[
                     ("figure", obs::json::Value::from("fig_stretch_vs_k")),
                     ("family", obs::json::Value::from(family.name())),
                     ("k", obs::json::Value::from(k)),
@@ -80,8 +81,5 @@ fn main() {
     println!("expected shape: max stretch stays below the implemented guarantee 4k-3");
     println!("everywhere (and below 4k-5 for k >= 3), mean stretch far below; table");
     println!("size falls with k while labels grow mildly (O(k log n)).");
-    if let Some(path) = &opts.report {
-        rec.write_report(path, "fig_stretch_vs_k", &[])
-            .unwrap_or_else(|e| eprintln!("failed to write report {}: {e}", path.display()));
-    }
+    sweep.finish();
 }

@@ -3,7 +3,13 @@
 //! Each binary in `src/bin/` regenerates one artifact of the paper's
 //! evaluation (see `DESIGN.md` §3 and `EXPERIMENTS.md`): it sweeps the
 //! relevant parameters, prints an aligned table to stdout, and — where a
-//! scaling exponent is the claim — a log-log slope estimate.
+//! scaling exponent is the claim — a log-log slope estimate. The shared
+//! skeleton (option parsing, recorder setup, per-case seeding, span
+//! bookkeeping) lives in [`sweep`]; the standardized benchmark suite behind
+//! `drt bench` / `drt compare` lives in [`suite`].
+
+pub mod suite;
+pub mod sweep;
 
 use graphs::{generators, Graph};
 use rand_chacha::ChaCha8Rng;
@@ -46,26 +52,21 @@ impl Family {
 }
 
 /// Least-squares slope of `log(y)` against `log(x)` — the empirical growth
-/// exponent for scaling figures.
+/// exponent for scaling figures. Delegates to [`obs::scaling::fit_power_law`].
 ///
 /// # Panics
 ///
-/// Panics if fewer than two points or any non-positive value is given.
+/// Panics if fewer than two points or any non-positive value is given, or if
+/// all `x` coincide.
 pub fn log_log_slope(points: &[(f64, f64)]) -> f64 {
     assert!(points.len() >= 2, "need at least two points");
-    let logs: Vec<(f64, f64)> = points
-        .iter()
-        .map(|&(x, y)| {
-            assert!(x > 0.0 && y > 0.0, "log-log needs positive data");
-            (x.ln(), y.ln())
-        })
-        .collect();
-    let n = logs.len() as f64;
-    let sx: f64 = logs.iter().map(|p| p.0).sum();
-    let sy: f64 = logs.iter().map(|p| p.1).sum();
-    let sxx: f64 = logs.iter().map(|p| p.0 * p.0).sum();
-    let sxy: f64 = logs.iter().map(|p| p.0 * p.1).sum();
-    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+    assert!(
+        points.iter().all(|&(x, y)| x > 0.0 && y > 0.0),
+        "log-log needs positive data"
+    );
+    obs::scaling::fit_power_law(points)
+        .expect("log-log slope needs at least two distinct x")
+        .exponent
 }
 
 /// Print a row of right-aligned cells under the given widths.

@@ -1,0 +1,120 @@
+//! Shared sweep harness for the table/figure binaries.
+//!
+//! Every regeneration binary follows the same skeleton: parse the report
+//! options, spin up a recorder, seed a `ChaCha8Rng` per case from a
+//! binary-specific base, wrap each observed build in a span closed with a
+//! peak-memory snapshot, and finally write the JSONL report if one was
+//! requested. [`Sweep`] owns that skeleton so the binaries keep only their
+//! measurement logic; the recorder stays public for binaries that also
+//! attach flight records or charge engine costs directly.
+
+use obs::json::Value;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// The per-binary sweep context: parsed report options plus the recorder.
+#[derive(Debug)]
+pub struct Sweep {
+    /// Options extracted from the command line / `DRT_REPORT`.
+    pub opts: obs::cli::ReportOptions,
+    /// The run recorder (enabled iff a report was requested).
+    pub rec: obs::Recorder,
+    /// Positional arguments left after stripping the report options.
+    pub rest: Vec<String>,
+    name: &'static str,
+}
+
+impl Sweep {
+    /// Parse [`std::env::args`] and set up the recorder. `name` is the run
+    /// name the report is written under.
+    pub fn from_env(name: &'static str) -> Sweep {
+        let (opts, rest) = obs::cli::ReportOptions::from_env();
+        let rec = obs::Recorder::when(opts.reporting());
+        Sweep {
+            opts,
+            rec,
+            rest,
+            name,
+        }
+    }
+
+    /// Whether a report will be written at [`Sweep::finish`].
+    pub fn reporting(&self) -> bool {
+        self.opts.reporting()
+    }
+
+    /// The deterministic per-case RNG every sweep uses: seeded from a
+    /// binary-specific `base` plus a case-specific `salt` (usually `n`).
+    pub fn rng(base: u64, salt: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(base.wrapping_add(salt))
+    }
+
+    /// Run `f` under a named span, closing it with the peak-memory snapshot
+    /// `f` returns alongside its result.
+    pub fn observed<T>(
+        &mut self,
+        span: &str,
+        f: impl FnOnce(&mut obs::Recorder) -> (T, Vec<usize>),
+    ) -> T {
+        let id = self.rec.begin(span);
+        let (out, peaks) = f(&mut self.rec);
+        self.rec.end_with_memory(id, &peaks);
+        out
+    }
+
+    /// Append a free-form record (flight heatmap, histogram, metrics) to the
+    /// report.
+    pub fn add_record(&mut self, record: Value) {
+        self.rec.add_record(record);
+    }
+
+    /// Write the report if one was requested (with `extra` summary fields),
+    /// reporting failures to stderr without aborting the sweep output.
+    pub fn finish_with(self, extra: &[(&str, Value)]) {
+        if let Some(path) = &self.opts.report {
+            self.rec
+                .write_report(path, self.name, extra)
+                .unwrap_or_else(|e| eprintln!("failed to write report {}: {e}", path.display()));
+        }
+    }
+
+    /// [`Sweep::finish_with`] without extra summary fields.
+    pub fn finish(self) {
+        self.finish_with(&[]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_case() {
+        use rand::Rng;
+        let a: u64 = Sweep::rng(0x51, 256).gen();
+        let b: u64 = Sweep::rng(0x51, 256).gen();
+        let c: u64 = Sweep::rng(0x51, 512).gen();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn observed_wraps_a_span_with_memory() {
+        let mut sweep = Sweep {
+            opts: obs::cli::ReportOptions::default(),
+            rec: obs::Recorder::new(),
+            rest: Vec::new(),
+            name: "test",
+        };
+        let out = sweep.observed("case/n8", |rec| {
+            rec.charge_rounds(5);
+            (42u32, vec![1, 2, 9])
+        });
+        assert_eq!(out, 42);
+        let spans = sweep.rec.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "case/n8");
+        assert_eq!(spans[0].delta.rounds, 5);
+        assert_eq!(spans[0].peak_memory_words, 9);
+    }
+}

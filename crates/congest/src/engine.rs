@@ -133,6 +133,9 @@ pub struct RunStats {
     pub completed: bool,
     /// Per-vertex peak memory, polled after each round.
     pub memory: MemoryMeter,
+    /// Wall-clock nanoseconds the run took (monotonic; real time, not a
+    /// simulated cost — the simulated currencies are the fields above).
+    pub wall_ns: u64,
 }
 
 /// The synchronous engine.
@@ -193,6 +196,7 @@ impl Engine {
     ) -> (Vec<P>, RunStats) {
         let n = network.len();
         assert_eq!(protocols.len(), n, "one protocol instance per vertex");
+        let wall = obs::metrics::Stopwatch::start();
         let mut stats = RunStats {
             memory: MemoryMeter::new(n),
             ..RunStats::default()
@@ -275,6 +279,7 @@ impl Engine {
             }
             sent_last_round = stats.messages > messages_before;
         }
+        stats.wall_ns = wall.elapsed_ns();
         (protocols, stats)
     }
 
@@ -530,6 +535,8 @@ mod tests {
         assert_eq!(words, stats.words);
         // The hook records the series without touching recorder totals.
         assert_eq!(rec.totals(), obs::Counters::ZERO);
+        // Wall sampling: real elapsed time, present even at this tiny size.
+        assert!(stats.wall_ns > 0);
     }
 
     #[test]

@@ -22,7 +22,14 @@
 //! * [`flight`] is the forwarding-plane flight recorder: hop-by-hop
 //!   [`flight::PacketTrace`]s, [`flight::EdgeLoadMap`]/
 //!   [`flight::VertexLoadMap`] heatmaps, and stretch histograms, emitted
-//!   into the same JSONL reports via [`Recorder::add_record`].
+//!   into the same JSONL reports via [`Recorder::add_record`];
+//! * [`metrics`] adds the wall-clock axis: monotonic [`metrics::Stopwatch`]
+//!   timers (every span carries a `wall_ns` next to its simulated deltas)
+//!   and [`metrics::MetricSet`] counter/gauge bags serialized as `metrics`
+//!   records;
+//! * [`scaling`] fits log-log growth exponents and checks them against
+//!   paper-predicted ranges, turning "the shape matches the theorem" into an
+//!   executable assertion.
 //!
 //! A disabled recorder ([`Recorder::disabled`]) makes every operation an
 //! early-returning no-op, so instrumented code paths cost nothing when
@@ -34,6 +41,8 @@ use std::path::Path;
 pub mod cli;
 pub mod flight;
 pub mod json;
+pub mod metrics;
+pub mod scaling;
 
 use json::Value;
 
@@ -165,7 +174,10 @@ pub struct SpanRecord {
     pub peak_memory_words: usize,
     /// Peak-memory distribution snapshot at span end, when provided.
     pub memory: Option<MemoryDist>,
+    /// Wall-clock nanoseconds the span was open (monotonic; 0 until closed).
+    pub wall_ns: u64,
     entry: Counters,
+    entry_wall: Option<metrics::Stopwatch>,
     closed: bool,
 }
 
@@ -179,13 +191,16 @@ pub struct Recorder {
     series: Vec<RoundSample>,
     run_memory: Option<MemoryDist>,
     records: Vec<Value>,
+    started: Option<metrics::Stopwatch>,
 }
 
 impl Recorder {
-    /// An enabled recorder.
+    /// An enabled recorder. Its wall clock starts now; the run summary's
+    /// `wall_ns` covers creation to [`Recorder::write_report`].
     pub fn new() -> Recorder {
         Recorder {
             enabled: true,
+            started: Some(metrics::Stopwatch::start()),
             ..Recorder::default()
         }
     }
@@ -223,7 +238,9 @@ impl Recorder {
             delta: Counters::ZERO,
             peak_memory_words: 0,
             memory: None,
+            wall_ns: 0,
             entry: self.totals,
+            entry_wall: Some(metrics::Stopwatch::start()),
             closed: false,
         });
         self.open.push(seq);
@@ -255,6 +272,7 @@ impl Recorder {
         span.delta = totals.delta_since(&span.entry);
         span.memory = memory;
         span.peak_memory_words = memory.map_or(0, |m| m.max);
+        span.wall_ns = span.entry_wall.map_or(0, |sw| sw.elapsed_ns());
         span.closed = true;
     }
 
@@ -365,6 +383,7 @@ impl Recorder {
                     "peak_memory_words",
                     Value::from(span.peak_memory_words as u64),
                 ),
+                ("wall_ns", Value::from(span.wall_ns)),
             ];
             if let Some(m) = span.memory {
                 fields.push(("memory", m.to_value()));
@@ -416,6 +435,10 @@ impl Recorder {
                 Value::from(self.spans.iter().filter(|s| s.closed).count() as u64),
             ),
             ("records", Value::from(self.records.len() as u64)),
+            (
+                "wall_ns",
+                Value::from(self.started.map_or(0, |sw| sw.elapsed_ns())),
+            ),
         ];
         if let Some(m) = self.run_memory {
             fields.push(("memory", m.to_value()));
@@ -472,6 +495,8 @@ mod tests {
         assert_eq!(spans[1].delta.words, 9);
         assert_eq!(spans[1].peak_memory_words, 10);
         assert_eq!(spans[1].memory.unwrap().median, 2);
+        // The outer span was open at least as long as the inner one.
+        assert!(spans[0].wall_ns >= spans[1].wall_ns);
     }
 
     #[test]
@@ -536,6 +561,7 @@ mod tests {
         assert_eq!(summary.get("k").unwrap().as_u64(), Some(2));
         assert_eq!(summary.get("peak_memory_words").unwrap().as_u64(), Some(10));
         assert_eq!(summary.get("records").unwrap().as_u64(), Some(1));
+        assert!(summary.get("wall_ns").unwrap().as_u64().is_some());
         let edge_record = records
             .iter()
             .find(|r| r.get("type").and_then(Value::as_str) == Some("edge_load"))

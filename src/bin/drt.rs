@@ -12,6 +12,8 @@
 //! drt trace    <graph-file> <scheme-file> <src> <dst>   # flight-recorded send
 //! drt stretch  <graph-file> <scheme-file> [sources]     # stretch statistics
 //! drt report   <report-file>                            # validate a JSONL report
+//! drt bench    [--smoke|--quick|--full] [--label <l>] [--out <path>] [--repeats <r>]
+//! drt compare  <old.json> <new.json> [--sim-tol <f>] [--wall-tol <f>] [--wall-gate]
 //! ```
 //!
 //! Graph files use the [`graphs::io`] edge-list format.
@@ -26,8 +28,19 @@
 //! `DRT_REPORT` environment variable) to write a JSONL run report: phase
 //! spans for `build`, a `packet_trace` record for `trace`. `drt report`
 //! reads such a file back, validates every record it knows
-//! (`packet_trace`, `edge_load`, `vertex_load`, `stretch_histogram`), and
-//! prints per-type counts.
+//! (`packet_trace`, `edge_load`, `vertex_load`, `stretch_histogram`,
+//! `metrics`, `scaling_check`), and prints per-type counts plus the run's
+//! total wall-clock time.
+//!
+//! `drt bench` runs the standardized benchmark suite (fixed seeds; see
+//! [`bench::suite`]) and writes a `BENCH_<label>.json` trajectory point:
+//! per-case wall-clock p50/p95 over repeats, byte-stable simulated
+//! rounds/words/memory, an environment stamp, and fitted scaling-law
+//! verdicts against the paper's predicted exponents (nonzero exit if a fit
+//! falls outside its predicted range). `drt compare old.json new.json`
+//! diffs two such documents — simulated columns gate exactly by default,
+//! wall-clock is advisory within `--wall-tol` — and prints a markdown
+//! summary, exiting nonzero on any gated regression.
 
 use std::process::ExitCode;
 
@@ -49,9 +62,11 @@ fn main() -> ExitCode {
         Some("trace") => cmd_trace(&args[1..], &opts),
         Some("stretch") => cmd_stretch(&args[1..]),
         Some("report") => cmd_report(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
+        Some("compare") => cmd_compare(&args[1..]),
         _ => {
             eprintln!(
-                "usage: drt <generate|info|build|route|query|trace|stretch|report> ... (see crate docs)"
+                "usage: drt <generate|info|build|route|query|trace|stretch|report|bench|compare> ... (see crate docs)"
             );
             return ExitCode::FAILURE;
         }
@@ -340,6 +355,8 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
             "stretch_histogram" => {
                 check(obs::flight::Histogram::from_value(record).map(|_| ()))?;
             }
+            "metrics" => check(obs::metrics::MetricSet::from_value(record).map(|_| ()))?,
+            "scaling_check" => check(obs::scaling::ScalingCheck::from_value(record).map(|_| ()))?,
             _ => {}
         }
         match counts.iter_mut().find(|(t, _)| *t == ty) {
@@ -351,7 +368,125 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
     for (ty, c) in counts {
         println!("  {ty:<18} {c}");
     }
+    // Surface the run's real time alongside the simulated costs: the summary
+    // line carries the recorder's total wall clock, each span its own.
+    if let Some(total) = records
+        .iter()
+        .find(|r| r.get("type").and_then(Value::as_str) == Some("run_summary"))
+        .and_then(|r| r.get("wall_ns"))
+        .and_then(Value::as_u64)
+    {
+        println!("  total wall         {:.2} ms", total as f64 / 1e6);
+        let mut spans: Vec<(&str, u64)> = records
+            .iter()
+            .filter(|r| r.get("type").and_then(Value::as_str) == Some("span"))
+            .filter_map(|r| {
+                Some((
+                    r.get("name").and_then(Value::as_str)?,
+                    r.get("wall_ns").and_then(Value::as_u64)?,
+                ))
+            })
+            .collect();
+        spans.sort_by_key(|&(_, wall)| std::cmp::Reverse(wall));
+        for (name, wall) in spans.iter().take(3) {
+            println!("    {name:<20} {:.2} ms", *wall as f64 / 1e6);
+        }
+    }
     Ok(())
+}
+
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    let mut tier = bench::suite::Tier::Quick;
+    let mut label = String::from("dev");
+    let mut out: Option<String> = None;
+    let mut repeats: Option<usize> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => tier = bench::suite::Tier::Smoke,
+            "--quick" => tier = bench::suite::Tier::Quick,
+            "--full" => tier = bench::suite::Tier::Full,
+            "--label" => {
+                label = it.next().ok_or("--label needs a value")?.clone();
+            }
+            "--out" => out = Some(it.next().ok_or("--out needs a value")?.clone()),
+            "--repeats" => {
+                let r = it.next().ok_or("--repeats needs a value")?;
+                repeats = Some(r.parse().map_err(|_| format!("bad repeat count '{r}'"))?);
+            }
+            other => return Err(format!("unknown bench option '{other}'")),
+        }
+    }
+    let out = out.unwrap_or_else(|| format!("BENCH_{label}.json"));
+    println!(
+        "running {} suite (label '{label}') — simulated columns are seed-pinned, wall is this machine",
+        tier.name()
+    );
+    let doc = bench::suite::run_suite(tier, &label, repeats, |case| {
+        println!("  done {case}");
+    })?;
+    for case in &doc.cases {
+        println!(
+            "{:<28} rounds {:>9}  words {:>11}  wall p50 {:>9.2} ms",
+            case.id,
+            case.sim("rounds").unwrap_or(0),
+            case.sim("words").unwrap_or(0),
+            case.wall.p50_ns as f64 / 1e6
+        );
+    }
+    for check in &doc.checks {
+        println!(
+            "scaling {:<28} exponent {:+.3} in [{:+.2}, {:+.2}]  r2 {:.3}  {}  ({})",
+            check.metric,
+            check.fit.exponent,
+            check.predicted.lo,
+            check.predicted.hi,
+            check.fit.r2,
+            if check.ok() { "OK" } else { "FAIL" },
+            check.claim
+        );
+    }
+    doc.save(&out).map_err(|e| format!("writing {out}: {e}"))?;
+    println!("wrote {out}");
+    if doc.scaling_ok() {
+        Ok(())
+    } else {
+        Err("scaling check(s) outside the paper-predicted exponent range".into())
+    }
+}
+
+fn cmd_compare(args: &[String]) -> Result<(), String> {
+    let mut cfg = bench::suite::CompareConfig::default();
+    let mut paths = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--sim-tol" => {
+                let v = it.next().ok_or("--sim-tol needs a value")?;
+                cfg.sim_tol = v.parse().map_err(|_| format!("bad tolerance '{v}'"))?;
+            }
+            "--wall-tol" => {
+                let v = it.next().ok_or("--wall-tol needs a value")?;
+                cfg.wall_tol = v.parse().map_err(|_| format!("bad tolerance '{v}'"))?;
+            }
+            "--wall-gate" => cfg.wall_gate = true,
+            other => paths.push(other.to_string()),
+        }
+    }
+    let [old_path, new_path] = paths.as_slice() else {
+        return Err(
+            "compare <old.json> <new.json> [--sim-tol <f>] [--wall-tol <f>] [--wall-gate]".into(),
+        );
+    };
+    let old = bench::suite::BenchDoc::load(old_path)?;
+    let new = bench::suite::BenchDoc::load(new_path)?;
+    let cmp = bench::suite::compare(&old, &new, &cfg);
+    print!("{}", cmp.markdown(&old.label, &new.label));
+    if cmp.passed() {
+        Ok(())
+    } else {
+        Err(format!("{} regression(s) detected", cmp.regressions.len()))
+    }
 }
 
 fn cmd_stretch(args: &[String]) -> Result<(), String> {
