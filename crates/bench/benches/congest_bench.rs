@@ -1,5 +1,7 @@
 //! Criterion micro-benchmarks for the CONGEST simulator primitives: engine
-//! throughput via the BFS protocol, and the Lemma-1 gossip broadcast.
+//! throughput via the BFS protocol (serial and at several worker-thread
+//! counts, to expose the round loop's sharding overhead and speedup), and
+//! the Lemma-1 gossip broadcast.
 
 use bench::Family;
 use congest::{bfs, broadcast, Network};
@@ -20,6 +22,23 @@ fn bench_bfs(c: &mut Criterion) {
     group.finish();
 }
 
+/// The round loop at fixed `n` across worker-thread counts: the serial
+/// baseline, a two-way shard, and a shard count above this machine's core
+/// count. The simulation is identical at every count (the engine's
+/// contract), so any wall-clock delta is pure engine overhead or speedup.
+fn bench_round_loop_threads(c: &mut Criterion) {
+    let n = 2048;
+    let mut rng = ChaCha8Rng::seed_from_u64(31);
+    let net = Network::new(Family::ErdosRenyi.generate(n, &mut rng));
+    let mut group = c.benchmark_group("round_loop_threads");
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| bfs::build_bfs_tree_with(&net, VertexId(0), t));
+        });
+    }
+    group.finish();
+}
+
 fn bench_broadcast(c: &mut Criterion) {
     let n = 512;
     let mut rng = ChaCha8Rng::seed_from_u64(33);
@@ -33,5 +52,10 @@ fn bench_broadcast(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_bfs, bench_broadcast);
+criterion_group!(
+    benches,
+    bench_bfs,
+    bench_round_loop_threads,
+    bench_broadcast
+);
 criterion_main!(benches);

@@ -19,6 +19,7 @@ use routing::{build_observed, router, BuildParams, Mode};
 
 fn main() {
     let (opts, _rest) = obs::cli::ReportOptions::from_env();
+    let threads = opts.threads;
     let mut rec = obs::Recorder::when(opts.reporting());
     let mut json_rows: Vec<Value> = Vec::new();
 
@@ -106,7 +107,7 @@ fn main() {
                 let span = rec.begin(&format!("table1/{}/n{n}/k{k}/{name}", family.name()));
                 let built = build_observed(
                     &g,
-                    &BuildParams::new(k).with_mode(mode),
+                    &BuildParams::new(k).with_mode(mode).with_threads(threads),
                     &mut mode_rng,
                     &mut rec,
                 );

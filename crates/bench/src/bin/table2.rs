@@ -104,7 +104,10 @@ fn main() {
             let ours = distributed::build_observed(
                 &net,
                 &t,
-                &distributed::Config::default(),
+                &distributed::Config {
+                    threads: opts.threads,
+                    ..distributed::Config::default()
+                },
                 &mut rng,
                 &mut rec,
             );

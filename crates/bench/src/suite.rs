@@ -262,10 +262,14 @@ pub struct EnvStamp {
     pub profile: String,
     /// The workspace version the suite was built from.
     pub version: String,
+    /// Engine worker threads the suite ran with. Simulated columns are
+    /// thread-count independent (the parallel engine is deterministic), so
+    /// documents produced at different thread counts still diff exactly.
+    pub threads: u64,
 }
 
 impl EnvStamp {
-    /// Stamp for the running binary.
+    /// Stamp for the running binary (serial engine).
     pub fn current() -> EnvStamp {
         EnvStamp {
             os: std::env::consts::OS.to_string(),
@@ -276,6 +280,7 @@ impl EnvStamp {
                 "release".to_string()
             },
             version: env!("CARGO_PKG_VERSION").to_string(),
+            threads: 1,
         }
     }
 
@@ -285,6 +290,7 @@ impl EnvStamp {
             ("arch", Value::from(self.arch.as_str())),
             ("profile", Value::from(self.profile.as_str())),
             ("version", Value::from(self.version.as_str())),
+            ("threads", Value::from(self.threads)),
         ])
     }
 
@@ -300,6 +306,61 @@ impl EnvStamp {
             arch: text("arch")?,
             profile: text("profile")?,
             version: text("version")?,
+            // Absent in documents written before the parallel engine: those
+            // suites were serial.
+            threads: v.get("threads").and_then(Value::as_u64).unwrap_or(1),
+        })
+    }
+}
+
+/// Serial-vs-parallel wall-clock comparison for one suite group, measured by
+/// running every case twice per repeat — once on the serial engine, once with
+/// `threads` workers — and cross-checking that the simulated columns agree
+/// exactly. The metric is real time only; it is always advisory in
+/// [`compare`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GroupSpeedup {
+    /// The suite group (`tree_build`, `scheme_build`, `route_batch`).
+    pub group: String,
+    /// Worker threads the parallel twin ran with.
+    pub threads: u64,
+    /// p50 over the group's serial wall samples (all cases, all repeats).
+    pub serial_p50_ns: u64,
+    /// p50 over the group's parallel wall samples.
+    pub parallel_p50_ns: u64,
+}
+
+impl GroupSpeedup {
+    /// `wall_serial_p50 / wall_parallel_p50`; values above 1 mean the
+    /// parallel engine was faster.
+    pub fn speedup(&self) -> f64 {
+        self.serial_p50_ns as f64 / self.parallel_p50_ns.max(1) as f64
+    }
+
+    fn to_value(&self) -> Value {
+        Value::object(vec![
+            ("group", Value::from(self.group.as_str())),
+            ("threads", Value::from(self.threads)),
+            ("serial_p50_ns", Value::from(self.serial_p50_ns)),
+            ("parallel_p50_ns", Value::from(self.parallel_p50_ns)),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Result<GroupSpeedup, String> {
+        let field = |key: &str| {
+            v.get(key)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("speedup entry missing numeric field '{key}'"))
+        };
+        Ok(GroupSpeedup {
+            group: v
+                .get("group")
+                .and_then(Value::as_str)
+                .ok_or("speedup entry missing 'group'")?
+                .to_string(),
+            threads: field("threads")?,
+            serial_p50_ns: field("serial_p50_ns")?,
+            parallel_p50_ns: field("parallel_p50_ns")?,
         })
     }
 }
@@ -318,6 +379,9 @@ pub struct BenchDoc {
     /// Scaling-law verdicts fitted over the sweeps (empty below 3 points
     /// per group).
     pub checks: Vec<ScalingCheck>,
+    /// Per-group serial-vs-parallel wall speedups (empty when the suite ran
+    /// with a single worker thread).
+    pub speedup: Vec<GroupSpeedup>,
 }
 
 impl BenchDoc {
@@ -345,6 +409,10 @@ impl BenchDoc {
             (
                 "scaling",
                 Value::Array(self.checks.iter().map(ScalingCheck::to_value).collect()),
+            ),
+            (
+                "speedup",
+                Value::Array(self.speedup.iter().map(GroupSpeedup::to_value).collect()),
             ),
         ])
     }
@@ -380,12 +448,20 @@ impl BenchDoc {
             .iter()
             .map(ScalingCheck::from_value)
             .collect::<Result<Vec<_>, _>>()?;
+        // Absent in documents written before the parallel engine.
+        let speedup = v
+            .get("speedup")
+            .and_then(Value::as_array)
+            .map(|entries| entries.iter().map(GroupSpeedup::from_value).collect())
+            .transpose()?
+            .unwrap_or_default();
         Ok(BenchDoc {
             label: text("label")?,
             tier: text("tier")?,
             env: EnvStamp::from_value(v.get("env").ok_or("document missing 'env'")?)?,
             cases,
             checks,
+            speedup,
         })
     }
 
@@ -414,52 +490,106 @@ impl BenchDoc {
 }
 
 /// Run the standardized suite at `tier`, labeling the document `label`.
-/// `repeats` overrides the tier's wall-clock repeat count; `progress` is
+/// `repeats` overrides the tier's wall-clock repeat count; `threads` is the
+/// engine worker-thread count (`0` = all available cores); `progress` is
 /// called with each finished case id.
+///
+/// With `threads > 1` every case runs twice per repeat — once serial, once
+/// parallel — so the document carries a per-group [`GroupSpeedup`]
+/// (`wall_serial_p50 / wall_parallel_p50`). The recorded per-case wall
+/// summary is always the serial engine's, keeping it comparable across
+/// documents regardless of thread count; the simulated columns are
+/// cross-checked to be identical between the twins.
 ///
 /// # Errors
 ///
 /// Returns a message if a case's simulated columns differ across repeats —
-/// that would mean the fixed-seed pipeline went nondeterministic, which
-/// invalidates the whole trajectory.
+/// that would mean the fixed-seed pipeline went nondeterministic — or differ
+/// between the serial and parallel twin, which would invalidate the
+/// engine's determinism guarantee.
 pub fn run_suite(
     tier: Tier,
     label: &str,
     repeats: Option<usize>,
+    threads: usize,
     mut progress: impl FnMut(&str),
 ) -> Result<BenchDoc, String> {
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        threads
+    };
     let repeats = repeats.unwrap_or_else(|| tier.repeats()).max(1);
     let mut cases = Vec::new();
+    let mut tree_walls = WallPair::default();
+    let mut scheme_walls = WallPair::default();
+    let mut batch_walls = WallPair::default();
     for &n in tier.tree_sizes() {
-        cases.push(tree_case(n, repeats)?);
+        cases.push(tree_case(n, repeats, threads, &mut tree_walls)?);
         progress(&cases.last().unwrap().id);
     }
     for &n in tier.scheme_sizes() {
-        cases.push(scheme_case(n, repeats)?);
+        cases.push(scheme_case(n, repeats, threads, &mut scheme_walls)?);
         progress(&cases.last().unwrap().id);
     }
-    cases.extend(batch_cases(tier.batch_loads(), repeats, &mut progress)?);
+    cases.extend(batch_cases(
+        tier.batch_loads(),
+        repeats,
+        threads,
+        &mut batch_walls,
+        &mut progress,
+    )?);
     let checks = scaling_checks(&cases);
+    let mut speedup = Vec::new();
+    for (group, walls) in [
+        ("tree_build", &tree_walls),
+        ("scheme_build", &scheme_walls),
+        ("route_batch", &batch_walls),
+    ] {
+        if !walls.parallel.is_empty() {
+            speedup.push(GroupSpeedup {
+                group: group.to_string(),
+                threads: threads as u64,
+                serial_p50_ns: quantile_ns(&walls.serial, 0.5),
+                parallel_p50_ns: quantile_ns(&walls.parallel, 0.5),
+            });
+        }
+    }
+    let mut env = EnvStamp::current();
+    env.threads = threads as u64;
     Ok(BenchDoc {
         label: label.to_string(),
         tier: tier.name().to_string(),
-        env: EnvStamp::current(),
+        env,
         cases,
         checks,
+        speedup,
     })
 }
 
-/// Run repeated measurements, checking the simulated columns agree.
+/// Raw wall-clock samples for one suite group, split by engine.
+#[derive(Debug, Default)]
+struct WallPair {
+    serial: Vec<u64>,
+    parallel: Vec<u64>,
+}
+
+/// Run repeated measurements of `f` (which takes the engine thread count),
+/// checking the simulated columns agree across repeats and across thread
+/// counts. The returned [`WallStats`] summarizes the serial samples; raw
+/// samples from both engines land in `walls`.
 fn repeated(
     id: &str,
     repeats: usize,
-    mut f: impl FnMut() -> (Vec<(String, u64)>, u64),
+    threads: usize,
+    walls: &mut WallPair,
+    mut f: impl FnMut(usize) -> (Vec<(String, u64)>, u64),
 ) -> Result<(Vec<(String, u64)>, WallStats), String> {
     let mut sim: Option<Vec<(String, u64)>> = None;
-    let mut walls = Vec::with_capacity(repeats);
+    let mut serial = Vec::with_capacity(repeats);
     for _ in 0..repeats {
-        let (s, wall_ns) = f();
-        walls.push(wall_ns);
+        let (s, wall_ns) = f(1);
+        serial.push(wall_ns);
         match &sim {
             None => sim = Some(s),
             Some(prev) if *prev == s => {}
@@ -470,13 +600,30 @@ fn repeated(
                 ));
             }
         }
+        if threads > 1 {
+            let (s, wall_ns) = f(threads);
+            if sim.as_ref() != Some(&s) {
+                return Err(format!(
+                    "case {id}: simulated columns changed with {threads} worker threads \
+                     ({sim:?} vs {s:?}) — the parallel engine must match the serial engine"
+                ));
+            }
+            walls.parallel.push(wall_ns);
+        }
     }
-    Ok((sim.unwrap_or_default(), WallStats::from_samples(&walls)))
+    let stats = WallStats::from_samples(&serial);
+    walls.serial.append(&mut serial);
+    Ok((sim.unwrap_or_default(), stats))
 }
 
-fn tree_case(n: usize, repeats: usize) -> Result<CaseResult, String> {
+fn tree_case(
+    n: usize,
+    repeats: usize,
+    threads: usize,
+    walls: &mut WallPair,
+) -> Result<CaseResult, String> {
     let id = format!("tree_build/er/n{n}");
-    let (sim, wall) = repeated(&id, repeats, || {
+    let (sim, wall) = repeated(&id, repeats, threads, walls, |threads| {
         let mut rng = Sweep::rng(TREE_SEED, n as u64);
         let g = Family::ErdosRenyi.generate(n, &mut rng);
         let t = tree::shortest_path_tree(&g, VertexId(0));
@@ -485,7 +632,10 @@ fn tree_case(n: usize, repeats: usize) -> Result<CaseResult, String> {
         let out = distributed::build_observed(
             &net,
             &t,
-            &distributed::Config::default(),
+            &distributed::Config {
+                threads,
+                ..distributed::Config::default()
+            },
             &mut rng,
             &mut obs::Recorder::disabled(),
         );
@@ -518,16 +668,26 @@ fn tree_case(n: usize, repeats: usize) -> Result<CaseResult, String> {
     })
 }
 
-fn scheme_case(n: usize, repeats: usize) -> Result<CaseResult, String> {
+fn scheme_case(
+    n: usize,
+    repeats: usize,
+    threads: usize,
+    walls: &mut WallPair,
+) -> Result<CaseResult, String> {
     let id = format!("scheme_build/er/k{BATCH_K}/n{n}");
-    let (sim, wall) = repeated(&id, repeats, || {
+    let (sim, wall) = repeated(&id, repeats, threads, walls, |threads| {
         let mut rng = Sweep::rng(SCHEME_SEED, n as u64);
         let g = Family::ErdosRenyi.generate(n, &mut rng);
         // An enabled recorder because `BuildReport` has no words column; the
         // recorder totals mirror the construction's ledger exactly.
         let mut rec = obs::Recorder::new();
         let sw = Stopwatch::start();
-        let built = build_observed(&g, &BuildParams::new(BATCH_K), &mut rng, &mut rec);
+        let built = build_observed(
+            &g,
+            &BuildParams::new(BATCH_K).with_threads(threads),
+            &mut rng,
+            &mut rec,
+        );
         let wall_ns = sw.elapsed_ns();
         let sim = vec![
             ("rounds".to_string(), built.report.rounds),
@@ -560,6 +720,8 @@ fn scheme_case(n: usize, repeats: usize) -> Result<CaseResult, String> {
 fn batch_cases(
     loads: &[usize],
     repeats: usize,
+    threads: usize,
+    walls: &mut WallPair,
     progress: &mut impl FnMut(&str),
 ) -> Result<Vec<CaseResult>, String> {
     // One fixed graph and scheme for the whole group: the sweep varies the
@@ -571,7 +733,7 @@ fn batch_cases(
     let mut cases = Vec::new();
     for &load in loads {
         let id = format!("route_batch/er/p{load}");
-        let (sim, wall) = repeated(&id, repeats, || {
+        let (sim, wall) = repeated(&id, repeats, threads, walls, |threads| {
             use rand::Rng as _;
             let mut rng = Sweep::rng(BATCH_SEED, load as u64);
             let pairs: Vec<(VertexId, VertexId)> = (0..load)
@@ -584,7 +746,7 @@ fn batch_cases(
                     (VertexId(a), VertexId(b))
                 })
                 .collect();
-            let report = packet::send_many(&net, &built.scheme, &pairs);
+            let report = packet::send_many_with(&net, &built.scheme, &pairs, threads);
             let delivered = report.deliveries().flatten().count();
             let sim = vec![
                 ("rounds".to_string(), report.stats.rounds),
@@ -886,6 +1048,25 @@ pub fn compare(old: &BenchDoc, new: &BenchDoc, cfg: &CompareConfig) -> Compariso
                 .push(format!("case {} is new (no old value)", new_case.id));
         }
     }
+    // Parallel speedup is real time on one specific machine, so it is never
+    // gated — like the wall columns, it only ever produces advisories.
+    for s in &new.speedup {
+        let prior = old
+            .speedup
+            .iter()
+            .find(|o| o.group == s.group)
+            .map(|o| format!(" (was {:.2}x at {} threads)", o.speedup(), o.threads))
+            .unwrap_or_default();
+        cmp.advisories.push(format!(
+            "{}: parallel speedup {:.2}x at {} threads — serial p50 {:.2}ms, \
+             parallel p50 {:.2}ms{prior}",
+            s.group,
+            s.speedup(),
+            s.threads,
+            s.serial_p50_ns as f64 / 1e6,
+            s.parallel_p50_ns as f64 / 1e6,
+        ));
+    }
     cmp
 }
 
@@ -919,6 +1100,7 @@ mod tests {
                 case("tree_build/er/n128", "tree_build", 128, 160 * scale),
             ],
             checks: Vec::new(),
+            speedup: Vec::new(),
         }
     }
 
@@ -1007,8 +1189,68 @@ mod tests {
     }
 
     #[test]
+    fn speedup_entries_round_trip_and_stay_advisory() {
+        let mut doc = tiny_doc(1);
+        doc.env.threads = 4;
+        doc.speedup.push(GroupSpeedup {
+            group: "route_batch".to_string(),
+            threads: 4,
+            serial_p50_ns: 2_000_000,
+            parallel_p50_ns: 1_000_000,
+        });
+        let text = doc.to_value().to_string();
+        let back = BenchDoc::from_value(&obs::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, doc);
+        assert!((back.speedup[0].speedup() - 2.0).abs() < 1e-9);
+        // Speedup never gates: it only adds an advisory line.
+        let cmp = compare(&tiny_doc(1), &doc, &CompareConfig::default());
+        assert!(cmp.passed());
+        assert!(cmp
+            .advisories
+            .iter()
+            .any(|a| a.contains("parallel speedup 2.00x at 4 threads")));
+    }
+
+    #[test]
+    fn docs_without_speedup_or_threads_still_parse() {
+        // Simulate a document written before the parallel engine existed:
+        // no env.threads, no speedup array.
+        let mut v = tiny_doc(1).to_value();
+        if let Value::Object(fields) = &mut v {
+            fields.retain(|(k, _)| k != "speedup");
+            for (k, val) in fields.iter_mut() {
+                if k == "env" {
+                    if let Value::Object(env_fields) = val {
+                        env_fields.retain(|(k, _)| k != "threads");
+                    }
+                }
+            }
+        }
+        let doc = BenchDoc::from_value(&v).unwrap();
+        assert_eq!(doc.env.threads, 1);
+        assert!(doc.speedup.is_empty());
+    }
+
+    #[test]
+    fn threaded_smoke_suite_matches_serial_sims_and_records_speedup() {
+        let serial = run_suite(Tier::Smoke, "t1", Some(1), 1, |_| {}).unwrap();
+        let parallel = run_suite(Tier::Smoke, "t2", Some(1), 2, |_| {}).unwrap();
+        assert_eq!(serial.env.threads, 1);
+        assert_eq!(parallel.env.threads, 2);
+        assert!(serial.speedup.is_empty());
+        // One speedup entry per group, all measured at 2 threads.
+        let groups: Vec<&str> = parallel.speedup.iter().map(|s| s.group.as_str()).collect();
+        assert_eq!(groups, ["tree_build", "scheme_build", "route_batch"]);
+        assert!(parallel.speedup.iter().all(|s| s.threads == 2));
+        // The simulated columns are thread-count independent, so the two
+        // documents diff cleanly under the exact gate.
+        let cmp = compare(&serial, &parallel, &CompareConfig::default());
+        assert!(cmp.passed(), "regressions: {:?}", cmp.regressions);
+    }
+
+    #[test]
     fn smoke_suite_runs_and_round_trips() {
-        let doc = run_suite(Tier::Smoke, "unit", Some(1), |_| {}).unwrap();
+        let doc = run_suite(Tier::Smoke, "unit", Some(1), 1, |_| {}).unwrap();
         assert_eq!(doc.tier, "smoke");
         assert_eq!(
             doc.cases.len(),

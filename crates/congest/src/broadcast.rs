@@ -11,7 +11,7 @@ use std::collections::{HashSet, VecDeque};
 
 use graphs::VertexId;
 
-use crate::engine::{Ctx, Engine, EngineConfig, RunStats, VertexProtocol};
+use crate::engine::{Ctx, Engine, EngineConfig, Inbox, RunStats, VertexProtocol};
 use crate::network::Network;
 
 /// A broadcast item: `(origin, sequence number at origin, payload word)`.
@@ -56,7 +56,8 @@ impl VertexProtocol for GossipVertex {
 
     fn init(&mut self, ctx: &mut Ctx<'_, Item>) {
         let me = ctx.me();
-        for &(seq, payload) in &self.initial.clone() {
+        // `take` instead of clone: the seed list is consumed exactly once.
+        for (seq, payload) in std::mem::take(&mut self.initial) {
             self.learn((me, seq, payload));
         }
         if let Some(item) = self.queue.pop_front() {
@@ -64,8 +65,8 @@ impl VertexProtocol for GossipVertex {
         }
     }
 
-    fn round(&mut self, ctx: &mut Ctx<'_, Item>, inbox: &[(VertexId, Item)]) {
-        for &(_, item) in inbox {
+    fn round(&mut self, ctx: &mut Ctx<'_, Item>, inbox: &mut Inbox<'_, Item>) {
+        for (_, item) in inbox.drain() {
             self.learn(item);
         }
         if let Some(item) = self.queue.pop_front() {
@@ -98,12 +99,28 @@ pub struct BroadcastOutput {
 ///
 /// Panics if `items.len()` differs from the network size.
 pub fn broadcast_all(network: &Network, items: Vec<Vec<(u32, u64)>>) -> BroadcastOutput {
+    broadcast_all_with(network, items, 1)
+}
+
+/// [`broadcast_all`] on an engine with `threads` workers (`0` = available
+/// parallelism). Received items and stats are identical for every thread
+/// count.
+///
+/// # Panics
+///
+/// Panics if `items.len()` differs from the network size.
+pub fn broadcast_all_with(
+    network: &Network,
+    items: Vec<Vec<(u32, u64)>>,
+    threads: usize,
+) -> BroadcastOutput {
     assert_eq!(items.len(), network.len(), "one item list per vertex");
     let protos: Vec<GossipVertex> = items.into_iter().map(GossipVertex::new).collect();
     let engine = Engine::with_config(EngineConfig {
         // Items are 3 words; the gossip protocol sends one item per edge per
         // round, so 3 words is its natural cap.
         edge_words_per_round: 3,
+        threads,
         ..EngineConfig::default()
     });
     let (protos, stats) = engine.run(network, protos);

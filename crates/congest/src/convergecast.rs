@@ -6,7 +6,7 @@
 
 use graphs::{RootedTree, VertexId};
 
-use crate::engine::{Ctx, Engine, RunStats, VertexProtocol};
+use crate::engine::{Ctx, Engine, Inbox, RunStats, VertexProtocol};
 use crate::network::Network;
 
 /// The associative fold applied up the tree (all fit in one-word messages).
@@ -54,11 +54,11 @@ impl VertexProtocol for CastVertex {
         }
     }
 
-    fn round(&mut self, ctx: &mut Ctx<'_, u64>, inbox: &[(VertexId, u64)]) {
+    fn round(&mut self, ctx: &mut Ctx<'_, u64>, inbox: &mut Inbox<'_, u64>) {
         if !self.in_tree || self.sent {
             return;
         }
-        for &(_, v) in inbox {
+        for (_, v) in inbox.drain() {
             self.acc = self.op.fold(self.acc, v);
             self.heard_children += 1;
         }
@@ -105,6 +105,22 @@ pub fn converge(
     values: &[u64],
     op: Aggregate,
 ) -> ConvergecastOutput {
+    converge_with(network, tree, values, op, 1)
+}
+
+/// [`converge`] on an engine with `threads` workers (`0` = available
+/// parallelism). Result and stats are identical for every thread count.
+///
+/// # Panics
+///
+/// Panics if the tree's host universe differs from the network.
+pub fn converge_with(
+    network: &Network,
+    tree: &RootedTree,
+    values: &[u64],
+    op: Aggregate,
+    threads: usize,
+) -> ConvergecastOutput {
     let n = network.len();
     assert_eq!(tree.host_len(), n, "tree host must match network");
     assert_eq!(values.len(), n, "one value per vertex");
@@ -123,7 +139,7 @@ pub fn converge(
             }
         })
         .collect();
-    let (protos, stats) = Engine::new().run(network, protos);
+    let (protos, stats) = Engine::with_threads(threads).run(network, protos);
     ConvergecastOutput {
         result: protos[tree.root().index()].acc,
         stats,

@@ -1,29 +1,69 @@
 //! The synchronous round engine: runs per-vertex state machines and measures
 //! rounds, messages, congestion, and memory.
+//!
+//! # Execution model
+//!
+//! The engine owns one protocol instance per vertex and drives them through
+//! synchronous rounds over the zero-allocation message plane in
+//! [`crate::plane`]: vertices append sends to flat outbox arenas, and a
+//! stable counting sort scatters them into flat per-range inbox arenas for
+//! the next round. No per-vertex `Vec`s are allocated on the hot path.
+//!
+//! # Parallelism and determinism
+//!
+//! With [`EngineConfig::threads`] > 1 the vertex set is partitioned into
+//! contiguous chunks, one per worker, executed under [`std::thread::scope`].
+//! Workers are persistent across rounds (spawned once per run) and
+//! rendezvous with the coordinator through channels; each owns its protocol
+//! chunk, its slice of the memory meter, and a reusable outbox arena.
+//!
+//! The simulated results are **bit-identical to the serial engine** for any
+//! thread count:
+//!
+//! * Chunks are contiguous and outboxes are merged in worker order, so the
+//!   global message stream is in (source ascending, send order) — exactly
+//!   the order the serial loop produces.
+//! * The inbox scatter is a stable counting sort by destination, so every
+//!   vertex's inbox preserves that order.
+//! * All statistics (messages, words, per-edge congestion, per-vertex
+//!   memory) are computed per source vertex and folded in vertex order.
+//! * Strict-congestion enforcement is deferred to the end-of-round merge in
+//!   *both* paths and reports the first violation in (source, send) order,
+//!   so the panic is thread-count independent too.
+//!
+//! Only [`RunStats::wall_ns`] — real time, not a simulated cost — may differ
+//! between runs.
+
+use std::sync::mpsc;
 
 use graphs::graph::Arc;
 use graphs::VertexId;
 
-use crate::memory::MemoryMeter;
+use crate::memory::{MemoryMeter, MeterChunk};
 use crate::message::WordSized;
 use crate::network::Network;
+use crate::plane::{fill_arenas, ChunkArena, OutMsg, Outbox};
+
+pub use crate::plane::Inbox;
 
 /// A per-vertex protocol state machine.
 ///
 /// One instance exists per vertex. A protocol may only read its own state,
 /// the identity/ports of its neighbors (via [`Ctx`]), and the messages
 /// delivered to it this round — this is what makes the simulation faithful to
-/// the model.
+/// the model. `Send` bounds let the engine shard vertices across workers.
 pub trait VertexProtocol {
     /// The message type exchanged by this protocol.
-    type Msg: Clone + WordSized;
+    type Msg: Clone + WordSized + Send;
 
     /// Called once before the first round; may send initial messages.
     fn init(&mut self, ctx: &mut Ctx<'_, Self::Msg>);
 
     /// Called every round with the messages delivered this round (sent by
-    /// neighbors in the previous round).
-    fn round(&mut self, ctx: &mut Ctx<'_, Self::Msg>, inbox: &[(VertexId, Self::Msg)]);
+    /// neighbors in the previous round). Take messages by value with
+    /// [`Inbox::drain`] — it moves them out of the engine's arena without
+    /// cloning — or inspect them with [`Inbox::iter`].
+    fn round(&mut self, ctx: &mut Ctx<'_, Self::Msg>, inbox: &mut Inbox<'_, Self::Msg>);
 
     /// Vertex-local termination flag. The engine stops when every vertex is
     /// done and no messages are in flight.
@@ -46,7 +86,7 @@ pub struct Ctx<'a, M> {
     me: VertexId,
     arcs: &'a [Arc],
     round: u64,
-    outbox: Vec<(VertexId, M)>,
+    outbox: &'a mut Vec<OutMsg<M>>,
 }
 
 impl<'a, M: Clone> Ctx<'a, M> {
@@ -78,7 +118,11 @@ impl<'a, M: Clone> Ctx<'a, M> {
             self.me,
             to
         );
-        self.outbox.push((to, msg));
+        self.outbox.push(OutMsg {
+            to,
+            from: self.me,
+            msg,
+        });
     }
 
     /// Queue the same message to every neighbor. The final recipient takes
@@ -87,9 +131,17 @@ impl<'a, M: Clone> Ctx<'a, M> {
         if let Some((last, rest)) = self.arcs.split_last() {
             self.outbox.reserve(self.arcs.len());
             for arc in rest {
-                self.outbox.push((arc.to, msg.clone()));
+                self.outbox.push(OutMsg {
+                    to: arc.to,
+                    from: self.me,
+                    msg: msg.clone(),
+                });
             }
-            self.outbox.push((last.to, msg));
+            self.outbox.push(OutMsg {
+                to: last.to,
+                from: self.me,
+                msg,
+            });
         }
     }
 }
@@ -104,6 +156,10 @@ pub struct EngineConfig {
     pub edge_words_per_round: usize,
     /// Panic on congestion violations instead of recording them.
     pub strict_congestion: bool,
+    /// Worker threads for per-round vertex execution. `1` (the default) runs
+    /// the serial path; `0` resolves to the machine's available parallelism.
+    /// Simulated results are identical for every value — see the module docs.
+    pub threads: usize,
 }
 
 impl Default for EngineConfig {
@@ -112,6 +168,18 @@ impl Default for EngineConfig {
             max_rounds: 1_000_000,
             edge_words_per_round: 4,
             strict_congestion: false,
+            threads: 1,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The configured thread count with `0` resolved to the machine's
+    /// available parallelism.
+    pub fn resolved_threads(&self) -> usize {
+        match self.threads {
+            0 => std::thread::available_parallelism().map_or(1, usize::from),
+            t => t,
         }
     }
 }
@@ -138,6 +206,49 @@ pub struct RunStats {
     pub wall_ns: u64,
 }
 
+impl RunStats {
+    /// Whether two runs agree on every *simulated* measurement — everything
+    /// except [`RunStats::wall_ns`]. This is the equality the parallel
+    /// engine guarantees against the serial one.
+    pub fn same_simulation(&self, other: &RunStats) -> bool {
+        self.rounds == other.rounds
+            && self.messages == other.messages
+            && self.words == other.words
+            && self.max_edge_words == other.max_edge_words
+            && self.congestion_violations == other.congestion_violations
+            && self.completed == other.completed
+            && self.memory == other.memory
+    }
+}
+
+/// Per-chunk round measurements, folded into [`RunStats`] in worker order.
+#[derive(Clone, Debug, Default)]
+struct ChunkStats {
+    messages: u64,
+    words: u64,
+    max_edge_words: usize,
+    violations: u64,
+    /// First violation in (source, send) order within the chunk.
+    first_violation: Option<(VertexId, VertexId, usize)>,
+    /// Whether every protocol in the chunk reports done after this phase.
+    chunk_done: bool,
+    queued_words: usize,
+}
+
+/// One worker's round-trip payload: its delivery arena, reusable outbox and
+/// scratch, and the phase result. Moved coordinator → worker → coordinator
+/// through channels each phase, so ownership is explicit and nothing is
+/// locked or copied.
+struct Task<M> {
+    /// `None` drives the init phase; `Some(r)` drives round `r`.
+    round: Option<u64>,
+    delivery: ChunkArena<M>,
+    outbox: Outbox<M>,
+    per_edge: Vec<(VertexId, usize)>,
+    stats: ChunkStats,
+    sample_queued: bool,
+}
+
 /// The synchronous engine.
 ///
 /// # Examples
@@ -161,6 +272,20 @@ impl Engine {
         Engine { config }
     }
 
+    /// An engine with default configuration except the worker thread count
+    /// (`0` = available parallelism).
+    pub fn with_threads(threads: usize) -> Self {
+        Engine::with_config(EngineConfig {
+            threads,
+            ..EngineConfig::default()
+        })
+    }
+
+    /// This engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
     /// Run `protocols` (one per vertex, indexed by vertex id) on `network`
     /// until quiescence or the round cap.
     ///
@@ -170,7 +295,7 @@ impl Engine {
     ///
     /// Panics if `protocols.len()` differs from the network size, or on a
     /// congestion violation when `strict_congestion` is set.
-    pub fn run<P: VertexProtocol>(
+    pub fn run<P: VertexProtocol + Send>(
         &self,
         network: &Network,
         protocols: Vec<P>,
@@ -188,7 +313,7 @@ impl Engine {
     /// # Panics
     ///
     /// Panics under the same conditions as [`Engine::run`].
-    pub fn run_traced<P: VertexProtocol>(
+    pub fn run_traced<P: VertexProtocol + Send>(
         &self,
         network: &Network,
         mut protocols: Vec<P>,
@@ -197,120 +322,439 @@ impl Engine {
         let n = network.len();
         assert_eq!(protocols.len(), n, "one protocol instance per vertex");
         let wall = obs::metrics::Stopwatch::start();
-        let mut stats = RunStats {
-            memory: MemoryMeter::new(n),
-            ..RunStats::default()
+        let threads = self.config.resolved_threads().clamp(1, n.max(1));
+        let mut stats = if threads <= 1 {
+            self.drive_serial(network, &mut protocols, recorder)
+        } else {
+            self.drive_parallel(network, &mut protocols, recorder, threads)
         };
-
-        // inboxes[v] = messages to deliver to v at the start of the next round.
-        let mut inboxes: Vec<Vec<(VertexId, P::Msg)>> = vec![Vec::new(); n];
-
-        // Init phase (round 0 sends).
-        for (v, protocol) in protocols.iter_mut().enumerate() {
-            let vid = VertexId(v as u32);
-            let mut ctx = Ctx {
-                me: vid,
-                arcs: network.ports(vid),
-                round: 0,
-                outbox: Vec::new(),
-            };
-            protocol.init(&mut ctx);
-            self.dispatch(network, vid, ctx.outbox, &mut inboxes, &mut stats);
-            stats.memory.set(vid, protocol.memory_words());
-        }
-        if recorder.is_enabled() && stats.messages > 0 {
-            recorder.record_round(obs::RoundSample {
-                round: 0,
-                messages: stats.messages,
-                words: stats.words,
-                max_edge_words: stats.max_edge_words,
-                congestion_violations: stats.congestion_violations,
-                queued_words: protocols.iter().map(VertexProtocol::queued_words).sum(),
-            });
-        }
-
-        let mut sent_last_round = inboxes.iter().any(|b| !b.is_empty());
-        loop {
-            let in_flight = inboxes.iter().any(|b| !b.is_empty());
-            let all_done = protocols.iter().all(VertexProtocol::is_done);
-            if all_done && !in_flight {
-                stats.completed = true;
-                break;
-            }
-            // Quiescence: protocols are message-driven, so once a round passes
-            // with nothing sent and nothing in flight, no state can change.
-            if !in_flight && !sent_last_round {
-                stats.completed = all_done;
-                break;
-            }
-            if stats.rounds >= self.config.max_rounds {
-                break;
-            }
-            stats.rounds += 1;
-
-            let delivered = std::mem::replace(&mut inboxes, vec![Vec::new(); n]);
-            let messages_before = stats.messages;
-            let words_before = stats.words;
-            let violations_before = stats.congestion_violations;
-            for (v, inbox) in delivered.into_iter().enumerate() {
-                let vid = VertexId(v as u32);
-                if inbox.is_empty() && protocols[v].is_done() {
-                    continue;
-                }
-                let mut ctx = Ctx {
-                    me: vid,
-                    arcs: network.ports(vid),
-                    round: stats.rounds,
-                    outbox: Vec::new(),
-                };
-                protocols[v].round(&mut ctx, &inbox);
-                self.dispatch(network, vid, ctx.outbox, &mut inboxes, &mut stats);
-                stats.memory.set(vid, protocols[v].memory_words());
-            }
-            if recorder.is_enabled() {
-                recorder.record_round(obs::RoundSample {
-                    round: stats.rounds,
-                    messages: stats.messages - messages_before,
-                    words: stats.words - words_before,
-                    max_edge_words: stats.max_edge_words,
-                    congestion_violations: stats.congestion_violations - violations_before,
-                    queued_words: protocols.iter().map(VertexProtocol::queued_words).sum(),
-                });
-            }
-            sent_last_round = stats.messages > messages_before;
-        }
         stats.wall_ns = wall.elapsed_ns();
         (protocols, stats)
     }
 
-    fn dispatch<M: Clone + WordSized>(
+    /// The single-threaded driver: one chunk covering every vertex, executed
+    /// inline. Same plane, same merge, no channels.
+    fn drive_serial<P: VertexProtocol>(
         &self,
-        _network: &Network,
-        from: VertexId,
-        outbox: Vec<(VertexId, M)>,
-        inboxes: &mut [Vec<(VertexId, M)>],
-        stats: &mut RunStats,
-    ) {
-        // Congestion accounting: words per destination this round.
-        let mut per_edge: Vec<(VertexId, usize)> = Vec::new();
-        for (to, msg) in outbox {
-            let w = msg.words();
-            stats.messages += 1;
-            stats.words += w as u64;
-            match per_edge.iter_mut().find(|(t, _)| *t == to) {
-                Some((_, acc)) => *acc += w,
-                None => per_edge.push((to, w)),
+        network: &Network,
+        protocols: &mut [P],
+        recorder: &mut obs::Recorder,
+    ) -> RunStats {
+        let n = protocols.len();
+        let cap = self.config.edge_words_per_round;
+        let sample = recorder.is_enabled();
+        let mut stats = RunStats::default();
+        let mut memory = MemoryMeter::new(n);
+        let mut arena = ChunkArena::new(0, n);
+        let mut outbox = Outbox::new();
+        let mut per_edge = Vec::new();
+        {
+            let mut meter = memory
+                .chunks_mut(n.max(1))
+                .pop()
+                .expect("one chunk covers all vertices");
+
+            // Init phase (round 0 sends).
+            let mut cs = execute_chunk(
+                protocols,
+                0,
+                network,
+                None,
+                &mut arena,
+                &mut outbox,
+                &mut meter,
+                &mut per_edge,
+                cap,
+                sample,
+            );
+            fill_arenas(
+                &mut [&mut arena],
+                std::slice::from_mut(&mut outbox),
+                n.max(1),
+            );
+            absorb(&mut stats, &cs);
+            self.enforce_congestion(cs.first_violation);
+            if sample && stats.messages > 0 {
+                recorder.record_round(obs::RoundSample {
+                    round: 0,
+                    messages: stats.messages,
+                    words: stats.words,
+                    max_edge_words: stats.max_edge_words,
+                    congestion_violations: stats.congestion_violations,
+                    queued_words: cs.queued_words,
+                });
             }
-            inboxes[to.index()].push((from, msg));
-        }
-        for (to, w) in per_edge {
-            stats.max_edge_words = stats.max_edge_words.max(w);
-            if w > self.config.edge_words_per_round {
-                stats.congestion_violations += 1;
-                assert!(
-                    !self.config.strict_congestion,
-                    "congestion violation: {from} sent {w} words to {to} in one round"
+
+            let mut sent_last_round = stats.messages > 0;
+            let mut all_done = cs.chunk_done;
+            loop {
+                let in_flight = arena.total() > 0;
+                if all_done && !in_flight {
+                    stats.completed = true;
+                    break;
+                }
+                // Quiescence: protocols are message-driven, so once a round
+                // passes with nothing sent and nothing in flight, no state
+                // can change.
+                if !in_flight && !sent_last_round {
+                    stats.completed = all_done;
+                    break;
+                }
+                if stats.rounds >= self.config.max_rounds {
+                    break;
+                }
+                stats.rounds += 1;
+
+                let messages_before = stats.messages;
+                let words_before = stats.words;
+                let violations_before = stats.congestion_violations;
+                cs = execute_chunk(
+                    protocols,
+                    0,
+                    network,
+                    Some(stats.rounds),
+                    &mut arena,
+                    &mut outbox,
+                    &mut meter,
+                    &mut per_edge,
+                    cap,
+                    sample,
                 );
+                fill_arenas(
+                    &mut [&mut arena],
+                    std::slice::from_mut(&mut outbox),
+                    n.max(1),
+                );
+                absorb(&mut stats, &cs);
+                self.enforce_congestion(cs.first_violation);
+                if sample {
+                    recorder.record_round(obs::RoundSample {
+                        round: stats.rounds,
+                        messages: stats.messages - messages_before,
+                        words: stats.words - words_before,
+                        max_edge_words: stats.max_edge_words,
+                        congestion_violations: stats.congestion_violations - violations_before,
+                        queued_words: cs.queued_words,
+                    });
+                }
+                sent_last_round = stats.messages > messages_before;
+                all_done = cs.chunk_done;
+            }
+        }
+        stats.memory = memory;
+        stats
+    }
+
+    /// The multi-threaded driver: contiguous vertex chunks on persistent
+    /// scoped workers, rendezvousing with this (coordinator) thread through
+    /// channels each phase. Chunk 0 executes inline on the coordinator.
+    fn drive_parallel<P: VertexProtocol + Send>(
+        &self,
+        network: &Network,
+        protocols: &mut [P],
+        recorder: &mut obs::Recorder,
+        threads: usize,
+    ) -> RunStats {
+        let n = protocols.len();
+        let chunk = n.div_ceil(threads);
+        let cap = self.config.edge_words_per_round;
+        let sample = recorder.is_enabled();
+        let mut stats = RunStats::default();
+        let mut memory = MemoryMeter::new(n);
+
+        let mut tasks: Vec<Option<Task<P::Msg>>> = Vec::new();
+        let mut lo = 0;
+        while lo < n {
+            let len = chunk.min(n - lo);
+            tasks.push(Some(Task {
+                round: None,
+                delivery: ChunkArena::new(lo, len),
+                outbox: Outbox::new(),
+                per_edge: Vec::new(),
+                stats: ChunkStats::default(),
+                sample_queued: sample,
+            }));
+            lo += len;
+        }
+        let t = tasks.len();
+
+        let mut proto_chunks: Vec<&mut [P]> = protocols.chunks_mut(chunk).collect();
+        let mut meter_chunks = memory.chunks_mut(chunk);
+        debug_assert_eq!(proto_chunks.len(), t);
+        debug_assert_eq!(meter_chunks.len(), t);
+
+        std::thread::scope(|scope| {
+            let (done_tx, done_rx) = mpsc::channel::<(usize, Task<P::Msg>)>();
+            let mut to_workers: Vec<mpsc::Sender<Task<P::Msg>>> = Vec::with_capacity(t - 1);
+            let mut chunks = proto_chunks.drain(..).zip(meter_chunks.drain(..));
+            let (protos0, mut meter0) = chunks.next().expect("at least one chunk");
+            for (i, (protos, mut meter)) in chunks.enumerate() {
+                let w = i + 1;
+                let lo = w * chunk;
+                let (task_tx, task_rx) = mpsc::channel::<Task<P::Msg>>();
+                to_workers.push(task_tx);
+                let done = done_tx.clone();
+                scope.spawn(move || {
+                    // Persistent worker: one phase per received task; exits
+                    // when the coordinator drops its sender.
+                    while let Ok(mut task) = task_rx.recv() {
+                        task.stats = execute_chunk(
+                            protos,
+                            lo,
+                            network,
+                            task.round,
+                            &mut task.delivery,
+                            &mut task.outbox,
+                            &mut meter,
+                            &mut task.per_edge,
+                            cap,
+                            task.sample_queued,
+                        );
+                        if done.send((w, task)).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(done_tx);
+
+            // Fan a phase out to every worker, run chunk 0 inline, then park
+            // the returned tasks back in worker-index order for the merge.
+            let mut exec_phase = |round: Option<u64>, tasks: &mut [Option<Task<P::Msg>>]| {
+                for (i, tx) in to_workers.iter().enumerate() {
+                    let mut task = tasks[i + 1].take().expect("task parked");
+                    task.round = round;
+                    task.sample_queued = sample;
+                    tx.send(task).expect("worker alive");
+                }
+                let mut t0 = tasks[0].take().expect("task parked");
+                t0.round = round;
+                t0.stats = execute_chunk(
+                    protos0,
+                    0,
+                    network,
+                    round,
+                    &mut t0.delivery,
+                    &mut t0.outbox,
+                    &mut meter0,
+                    &mut t0.per_edge,
+                    cap,
+                    sample,
+                );
+                tasks[0] = Some(t0);
+                for _ in 0..to_workers.len() {
+                    let (w, task) = done_rx.recv().expect("worker alive");
+                    tasks[w] = Some(task);
+                }
+            };
+
+            // Init phase (round 0 sends).
+            exec_phase(None, &mut tasks);
+            let cs = merge_round(&mut tasks, chunk);
+            absorb(&mut stats, &cs);
+            self.enforce_congestion(cs.first_violation);
+            if sample && stats.messages > 0 {
+                recorder.record_round(obs::RoundSample {
+                    round: 0,
+                    messages: stats.messages,
+                    words: stats.words,
+                    max_edge_words: stats.max_edge_words,
+                    congestion_violations: stats.congestion_violations,
+                    queued_words: cs.queued_words,
+                });
+            }
+
+            let mut sent_last_round = stats.messages > 0;
+            let mut all_done = cs.chunk_done;
+            loop {
+                let in_flight = tasks
+                    .iter()
+                    .map(|t| t.as_ref().expect("task parked").delivery.total())
+                    .sum::<usize>()
+                    > 0;
+                if all_done && !in_flight {
+                    stats.completed = true;
+                    break;
+                }
+                if !in_flight && !sent_last_round {
+                    stats.completed = all_done;
+                    break;
+                }
+                if stats.rounds >= self.config.max_rounds {
+                    break;
+                }
+                stats.rounds += 1;
+
+                let messages_before = stats.messages;
+                let words_before = stats.words;
+                let violations_before = stats.congestion_violations;
+                exec_phase(Some(stats.rounds), &mut tasks);
+                let cs = merge_round(&mut tasks, chunk);
+                absorb(&mut stats, &cs);
+                self.enforce_congestion(cs.first_violation);
+                if sample {
+                    recorder.record_round(obs::RoundSample {
+                        round: stats.rounds,
+                        messages: stats.messages - messages_before,
+                        words: stats.words - words_before,
+                        max_edge_words: stats.max_edge_words,
+                        congestion_violations: stats.congestion_violations - violations_before,
+                        queued_words: cs.queued_words,
+                    });
+                }
+                sent_last_round = stats.messages > messages_before;
+                all_done = cs.chunk_done;
+            }
+            // Dropping `to_workers` (scope-local) ends every worker's recv
+            // loop; the scope then joins them.
+        });
+        drop(meter_chunks);
+        stats.memory = memory;
+        stats
+    }
+
+    /// Deferred strict-congestion enforcement: both drivers collect the first
+    /// violation in (source, send) order during the round and report it here
+    /// after the merge, so the panic site is identical for every thread
+    /// count (and workers never panic while the coordinator waits on them).
+    fn enforce_congestion(&self, first: Option<(VertexId, VertexId, usize)>) {
+        if let Some((from, to, w)) = first {
+            assert!(
+                !self.config.strict_congestion,
+                "congestion violation: {from} sent {w} words to {to} in one round"
+            );
+        }
+    }
+}
+
+/// Fold a merged chunk's counters into the run totals.
+fn absorb(stats: &mut RunStats, cs: &ChunkStats) {
+    stats.messages += cs.messages;
+    stats.words += cs.words;
+    stats.max_edge_words = stats.max_edge_words.max(cs.max_edge_words);
+    stats.congestion_violations += cs.violations;
+}
+
+/// Drain every outbox into the delivery arenas (stable, worker order) and
+/// fold the per-chunk stats in worker order.
+fn merge_round<M>(tasks: &mut [Option<Task<M>>], chunk: usize) -> ChunkStats {
+    let mut outboxes: Vec<Outbox<M>> = tasks
+        .iter_mut()
+        .map(|t| std::mem::take(&mut t.as_mut().expect("task parked").outbox))
+        .collect();
+    {
+        let mut arenas: Vec<&mut ChunkArena<M>> = tasks
+            .iter_mut()
+            .map(|t| &mut t.as_mut().expect("task parked").delivery)
+            .collect();
+        fill_arenas(&mut arenas, &mut outboxes, chunk);
+    }
+    for (t, outbox) in tasks.iter_mut().zip(outboxes) {
+        t.as_mut().expect("task parked").outbox = outbox;
+    }
+    let mut merged = ChunkStats {
+        chunk_done: true,
+        ..ChunkStats::default()
+    };
+    for t in tasks.iter() {
+        let cs = &t.as_ref().expect("task parked").stats;
+        merged.messages += cs.messages;
+        merged.words += cs.words;
+        merged.max_edge_words = merged.max_edge_words.max(cs.max_edge_words);
+        merged.violations += cs.violations;
+        if merged.first_violation.is_none() {
+            merged.first_violation = cs.first_violation;
+        }
+        merged.chunk_done &= cs.chunk_done;
+        merged.queued_words += cs.queued_words;
+    }
+    merged
+}
+
+/// Execute one phase (init or a numbered round) for a contiguous chunk of
+/// vertices `[lo, lo + protocols.len())`: run each protocol, meter its
+/// memory, and account its sends. Shared verbatim by the serial driver, the
+/// coordinator's inline chunk 0, and every worker — there is exactly one
+/// execution semantics.
+#[allow(clippy::too_many_arguments)]
+fn execute_chunk<P: VertexProtocol>(
+    protocols: &mut [P],
+    lo: usize,
+    network: &Network,
+    round: Option<u64>,
+    delivery: &mut ChunkArena<P::Msg>,
+    outbox: &mut Outbox<P::Msg>,
+    meter: &mut MeterChunk<'_>,
+    per_edge: &mut Vec<(VertexId, usize)>,
+    cap: usize,
+    sample_queued: bool,
+) -> ChunkStats {
+    let mut cs = ChunkStats::default();
+    for (i, protocol) in protocols.iter_mut().enumerate() {
+        let v = lo + i;
+        let vid = VertexId(v as u32);
+        let start = outbox.msgs.len();
+        match round {
+            None => {
+                let mut ctx = Ctx {
+                    me: vid,
+                    arcs: network.ports(vid),
+                    round: 0,
+                    outbox: &mut outbox.msgs,
+                };
+                protocol.init(&mut ctx);
+            }
+            Some(r) => {
+                if delivery.inbox_len(v) == 0 && protocol.is_done() {
+                    continue;
+                }
+                let mut inbox = delivery.inbox(v);
+                let mut ctx = Ctx {
+                    me: vid,
+                    arcs: network.ports(vid),
+                    round: r,
+                    outbox: &mut outbox.msgs,
+                };
+                protocol.round(&mut ctx, &mut inbox);
+            }
+        }
+        meter.set(vid, protocol.memory_words());
+        account(&outbox.msgs[start..], vid, cap, per_edge, &mut cs);
+    }
+    cs.chunk_done = protocols.iter().all(P::is_done);
+    if sample_queued {
+        cs.queued_words = protocols.iter().map(P::queued_words).sum::<usize>();
+    }
+    cs
+}
+
+/// Congestion/volume accounting for one vertex's sends this round.
+fn account<M: WordSized>(
+    sent: &[OutMsg<M>],
+    from: VertexId,
+    cap: usize,
+    per_edge: &mut Vec<(VertexId, usize)>,
+    cs: &mut ChunkStats,
+) {
+    if sent.is_empty() {
+        return;
+    }
+    per_edge.clear();
+    for m in sent {
+        let w = m.msg.words();
+        cs.messages += 1;
+        cs.words += w as u64;
+        match per_edge.iter_mut().find(|(t, _)| *t == m.to) {
+            Some((_, acc)) => *acc += w,
+            None => per_edge.push((m.to, w)),
+        }
+    }
+    for &(to, w) in per_edge.iter() {
+        cs.max_edge_words = cs.max_edge_words.max(w);
+        if w > cap {
+            cs.violations += 1;
+            if cs.first_violation.is_none() {
+                cs.first_violation = Some((from, to, w));
             }
         }
     }
@@ -338,9 +782,9 @@ mod tests {
             }
         }
 
-        fn round(&mut self, ctx: &mut Ctx<'_, u64>, inbox: &[(VertexId, u64)]) {
+        fn round(&mut self, ctx: &mut Ctx<'_, u64>, inbox: &mut Inbox<'_, u64>) {
             if self.heard_at.is_none() {
-                if let Some(&(_, h)) = inbox.first() {
+                if let Some((_, &h)) = inbox.first() {
                     self.heard_at = Some(h + 1);
                     ctx.send_all(h + 1);
                 }
@@ -415,7 +859,7 @@ mod tests {
             fn init(&mut self, ctx: &mut Ctx<'_, u64>) {
                 ctx.send_all(0);
             }
-            fn round(&mut self, ctx: &mut Ctx<'_, u64>, _: &[(VertexId, u64)]) {
+            fn round(&mut self, ctx: &mut Ctx<'_, u64>, _: &mut Inbox<'_, u64>) {
                 ctx.send_all(0);
             }
             fn is_done(&self) -> bool {
@@ -442,7 +886,7 @@ mod tests {
         impl VertexProtocol for Stubborn {
             type Msg = u64;
             fn init(&mut self, _: &mut Ctx<'_, u64>) {}
-            fn round(&mut self, _: &mut Ctx<'_, u64>, _: &[(VertexId, u64)]) {}
+            fn round(&mut self, _: &mut Ctx<'_, u64>, _: &mut Inbox<'_, u64>) {}
             fn is_done(&self) -> bool {
                 false
             }
@@ -470,7 +914,7 @@ mod tests {
                 }
                 self.sent = true;
             }
-            fn round(&mut self, _: &mut Ctx<'_, Vec<u64>>, _: &[(VertexId, Vec<u64>)]) {}
+            fn round(&mut self, _: &mut Ctx<'_, Vec<u64>>, _: &mut Inbox<'_, Vec<u64>>) {}
             fn is_done(&self) -> bool {
                 self.sent
             }
@@ -495,7 +939,7 @@ mod tests {
                     ctx.send(VertexId(1), vec![0; 100]);
                 }
             }
-            fn round(&mut self, _: &mut Ctx<'_, Vec<u64>>, _: &[(VertexId, Vec<u64>)]) {}
+            fn round(&mut self, _: &mut Ctx<'_, Vec<u64>>, _: &mut Inbox<'_, Vec<u64>>) {}
             fn is_done(&self) -> bool {
                 true
             }
@@ -509,6 +953,34 @@ mod tests {
             ..EngineConfig::default()
         });
         engine.run(&net, vec![Fat, Fat]);
+    }
+
+    #[test]
+    #[should_panic(expected = "congestion violation")]
+    fn strict_congestion_panics_in_parallel_too() {
+        struct Fat;
+        impl VertexProtocol for Fat {
+            type Msg = Vec<u64>;
+            fn init(&mut self, ctx: &mut Ctx<'_, Vec<u64>>) {
+                if ctx.me() == VertexId(3) {
+                    ctx.send(VertexId(2), vec![0; 100]);
+                }
+            }
+            fn round(&mut self, _: &mut Ctx<'_, Vec<u64>>, _: &mut Inbox<'_, Vec<u64>>) {}
+            fn is_done(&self) -> bool {
+                true
+            }
+            fn memory_words(&self) -> usize {
+                0
+            }
+        }
+        let net = path_network(4);
+        let engine = Engine::with_config(EngineConfig {
+            strict_congestion: true,
+            threads: 4,
+            ..EngineConfig::default()
+        });
+        engine.run(&net, vec![Fat, Fat, Fat, Fat]);
     }
 
     #[test]
@@ -546,5 +1018,57 @@ mod tests {
         let (_, stats) = Engine::new().run_traced(&net, flood(4), &mut rec);
         assert!(stats.completed);
         assert!(rec.series().is_empty());
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_simulation() {
+        let net = path_network(13);
+        let (serial_protos, serial) = Engine::new().run(&net, flood(13));
+        for threads in [2usize, 3, 8, 64] {
+            let (protos, stats) = Engine::with_threads(threads).run(&net, flood(13));
+            assert!(
+                stats.same_simulation(&serial),
+                "threads={threads}: {stats:?} vs {serial:?}"
+            );
+            for (a, b) in protos.iter().zip(serial_protos.iter()) {
+                assert_eq!(a.heard_at, b.heard_at, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_traced_series_matches_serial() {
+        let net = path_network(9);
+        let mut serial_rec = obs::Recorder::new();
+        let (_, serial) = Engine::new().run_traced(&net, flood(9), &mut serial_rec);
+        let mut par_rec = obs::Recorder::new();
+        let (_, par) = Engine::with_threads(4).run_traced(&net, flood(9), &mut par_rec);
+        assert!(par.same_simulation(&serial));
+        assert_eq!(par_rec.series().len(), serial_rec.series().len());
+        for (a, b) in par_rec.series().iter().zip(serial_rec.series()) {
+            assert_eq!(a.round, b.round);
+            assert_eq!(a.messages, b.messages);
+            assert_eq!(a.words, b.words);
+            assert_eq!(a.max_edge_words, b.max_edge_words);
+            assert_eq!(a.congestion_violations, b.congestion_violations);
+            assert_eq!(a.queued_words, b.queued_words);
+        }
+    }
+
+    #[test]
+    fn more_threads_than_vertices_is_fine() {
+        let net = path_network(2);
+        let (_, stats) = Engine::with_threads(16).run(&net, flood(2));
+        let (_, serial) = Engine::new().run(&net, flood(2));
+        assert!(stats.same_simulation(&serial));
+    }
+
+    #[test]
+    fn zero_threads_resolves_to_available_parallelism() {
+        assert!(Engine::with_threads(0).config().resolved_threads() >= 1);
+        let net = path_network(5);
+        let (_, stats) = Engine::with_threads(0).run(&net, flood(5));
+        let (_, serial) = Engine::new().run(&net, flood(5));
+        assert!(stats.same_simulation(&serial));
     }
 }

@@ -52,9 +52,10 @@ pub mod ledger;
 pub mod memory;
 pub mod message;
 pub mod network;
+mod plane;
 
-pub use engine::{Engine, EngineConfig, RunStats, VertexProtocol};
+pub use engine::{Engine, EngineConfig, Inbox, RunStats, VertexProtocol};
 pub use ledger::CostLedger;
-pub use memory::MemoryMeter;
+pub use memory::{MemoryMeter, MeterChunk};
 pub use message::WordSized;
 pub use network::Network;

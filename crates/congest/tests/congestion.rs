@@ -3,7 +3,7 @@
 //! strict mode, and per-round attribution in the traced time series.
 
 use congest::engine::Ctx;
-use congest::{Engine, EngineConfig, Network, VertexProtocol};
+use congest::{Engine, EngineConfig, Inbox, Network, VertexProtocol};
 use graphs::{GraphBuilder, VertexId};
 
 /// Sends scripted bursts: at round `r` (0 = init), one message of `w` words
@@ -41,7 +41,7 @@ impl VertexProtocol for Burst {
         self.fire(ctx, 0);
     }
 
-    fn round(&mut self, ctx: &mut Ctx<'_, Vec<u64>>, _inbox: &[(VertexId, Vec<u64>)]) {
+    fn round(&mut self, ctx: &mut Ctx<'_, Vec<u64>>, _inbox: &mut Inbox<'_, Vec<u64>>) {
         let r = ctx.round() as usize;
         self.fire(ctx, r);
     }
@@ -120,6 +120,17 @@ fn raising_the_cap_clears_all_violations() {
     let (_, stats) = engine.run(&net, protocols);
     assert_eq!(stats.congestion_violations, 0);
     assert_eq!(stats.max_edge_words, 9);
+}
+
+#[test]
+fn congestion_accounting_is_thread_count_independent() {
+    let net = two_vertex_net();
+    let (_, serial) = Engine::new().run(&net, vec![Burst::sender(script()), Burst::receiver()]);
+    for threads in [2usize, 8] {
+        let (_, par) = Engine::with_threads(threads)
+            .run(&net, vec![Burst::sender(script()), Burst::receiver()]);
+        assert!(par.same_simulation(&serial), "threads={threads}");
+    }
 }
 
 #[test]

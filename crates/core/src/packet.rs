@@ -21,7 +21,7 @@
 //! Only the paper's tree-scheme family is supported (the prior baseline's
 //! packets would carry its `O(log² n)` labels).
 
-use congest::engine::{Ctx, Engine, EngineConfig, VertexProtocol};
+use congest::engine::{Ctx, Engine, EngineConfig, Inbox, VertexProtocol};
 use congest::{Network, RunStats, WordSized};
 use graphs::{VertexId, Weight};
 use obs::flight::{EdgeLoadMap, HopKind, HopRecord, PacketTrace, VertexLoadMap};
@@ -229,8 +229,10 @@ impl VertexProtocol for PacketVertex {
         }
     }
 
-    fn round(&mut self, ctx: &mut Ctx<'_, Packet>, inbox: &[(VertexId, Packet)]) {
-        for (_, p) in inbox.iter().cloned() {
+    fn round(&mut self, ctx: &mut Ctx<'_, Packet>, inbox: &mut Inbox<'_, Packet>) {
+        // Drain moves each packet (heap label + trace included) out of the
+        // engine's arena — forwarding never clones.
+        for (_, p) in inbox.drain() {
             self.handle(ctx, p);
         }
     }
@@ -256,7 +258,23 @@ pub fn send(
     src: VertexId,
     dst: VertexId,
 ) -> PacketReport {
-    send_inner(network, scheme, src, dst, false).report
+    send_inner(network, scheme, src, dst, false, 1).report
+}
+
+/// [`send`] on an engine with `threads` workers (`0` = available
+/// parallelism). The report is identical for every thread count.
+///
+/// # Panics
+///
+/// Panics if the scheme was built in prior-baseline mode.
+pub fn send_with(
+    network: &Network,
+    scheme: &RoutingScheme,
+    src: VertexId,
+    dst: VertexId,
+    threads: usize,
+) -> PacketReport {
+    send_inner(network, scheme, src, dst, false, threads).report
 }
 
 /// Like [`send`], but flight-recorded: the returned trace holds one hop
@@ -272,7 +290,23 @@ pub fn send_traced(
     src: VertexId,
     dst: VertexId,
 ) -> PacketFlight {
-    send_inner(network, scheme, src, dst, true)
+    send_inner(network, scheme, src, dst, true, 1)
+}
+
+/// [`send_traced`] on an engine with `threads` workers (`0` = available
+/// parallelism). Report and trace are identical for every thread count.
+///
+/// # Panics
+///
+/// Panics if the scheme was built in prior-baseline mode.
+pub fn send_traced_with(
+    network: &Network,
+    scheme: &RoutingScheme,
+    src: VertexId,
+    dst: VertexId,
+    threads: usize,
+) -> PacketFlight {
+    send_inner(network, scheme, src, dst, true, threads)
 }
 
 fn send_inner(
@@ -281,6 +315,7 @@ fn send_inner(
     src: VertexId,
     dst: VertexId,
     traced: bool,
+    threads: usize,
 ) -> PacketFlight {
     let Some(entry) = choose_entry(scheme, src, dst) else {
         return PacketFlight {
@@ -322,6 +357,7 @@ fn send_inner(
     let engine = Engine::with_config(EngineConfig {
         // The packet is the message; its size is the legal per-edge budget.
         edge_words_per_round: packet_words,
+        threads,
         ..EngineConfig::default()
     });
     let (mut protos, stats) = engine.run(network, protos);
@@ -480,9 +516,12 @@ impl VertexProtocol for LoadedVertex {
         self.flush(ctx);
     }
 
-    fn round(&mut self, ctx: &mut Ctx<'_, LoadedPacket>, inbox: &[(VertexId, LoadedPacket)]) {
-        for (_, p) in inbox.iter().cloned() {
-            self.classify(ctx, p, ctx.round());
+    fn round(&mut self, ctx: &mut Ctx<'_, LoadedPacket>, inbox: &mut Inbox<'_, LoadedPacket>) {
+        let round = ctx.round();
+        // Drain moves each packet out of the engine's arena — no clones on
+        // the store-and-forward hot path.
+        for (_, p) in inbox.drain() {
+            self.classify(ctx, p, round);
         }
         self.flush(ctx);
     }
@@ -590,7 +629,23 @@ pub fn send_many(
     scheme: &RoutingScheme,
     pairs: &[(VertexId, VertexId)],
 ) -> LoadReport {
-    send_many_inner(network, scheme, pairs, false).report
+    send_many_inner(network, scheme, pairs, false, 1).report
+}
+
+/// [`send_many`] on an engine with `threads` workers (`0` = available
+/// parallelism). Outcomes and stats are identical for every thread count;
+/// only wall time changes.
+///
+/// # Panics
+///
+/// Panics if the scheme was built in prior-baseline mode.
+pub fn send_many_with(
+    network: &Network,
+    scheme: &RoutingScheme,
+    pairs: &[(VertexId, VertexId)],
+    threads: usize,
+) -> LoadReport {
+    send_many_inner(network, scheme, pairs, false, threads).report
 }
 
 /// Like [`send_many`], but flight-recorded: per-packet hop traces plus
@@ -605,7 +660,23 @@ pub fn send_many_traced(
     scheme: &RoutingScheme,
     pairs: &[(VertexId, VertexId)],
 ) -> LoadFlight {
-    send_many_inner(network, scheme, pairs, true)
+    send_many_inner(network, scheme, pairs, true, 1)
+}
+
+/// [`send_many_traced`] on an engine with `threads` workers (`0` = available
+/// parallelism). Report, traces, and heatmaps are identical for every
+/// thread count.
+///
+/// # Panics
+///
+/// Panics if the scheme was built in prior-baseline mode.
+pub fn send_many_traced_with(
+    network: &Network,
+    scheme: &RoutingScheme,
+    pairs: &[(VertexId, VertexId)],
+    threads: usize,
+) -> LoadFlight {
+    send_many_inner(network, scheme, pairs, true, threads)
 }
 
 fn send_many_inner(
@@ -613,6 +684,7 @@ fn send_many_inner(
     scheme: &RoutingScheme,
     pairs: &[(VertexId, VertexId)],
     traced: bool,
+    threads: usize,
 ) -> LoadFlight {
     // Source decisions, as in `send`.
     let mut inject: Vec<Vec<LoadedPacket>> = vec![Vec::new(); network.len()];
@@ -683,6 +755,7 @@ fn send_many_inner(
         .collect();
     let engine = Engine::with_config(EngineConfig {
         edge_words_per_round,
+        threads,
         ..EngineConfig::default()
     });
     let (protos, stats) = engine.run(network, protos);

@@ -11,7 +11,7 @@
 //! computed subtree sizes must equal the centralized ground truth.
 
 use congest::broadcast::broadcast_all;
-use congest::engine::{Ctx, Engine, VertexProtocol};
+use congest::engine::{Ctx, Engine, Inbox, VertexProtocol};
 use congest::Network;
 use graphs::{RootedTree, VertexId};
 use rand::Rng;
@@ -78,12 +78,12 @@ impl VertexProtocol for Stage1Vertex {
         }
     }
 
-    fn round(&mut self, ctx: &mut Ctx<'_, Stage1Msg>, inbox: &[(VertexId, Stage1Msg)]) {
+    fn round(&mut self, ctx: &mut Ctx<'_, Stage1Msg>, inbox: &mut Inbox<'_, Stage1Msg>) {
         if !self.in_tree {
             return;
         }
         let had_root = self.local_root.is_some();
-        for (from, msg) in inbox {
+        for (from, msg) in inbox.iter() {
             match msg {
                 Stage1Msg::Root(w) => {
                     if !self.sampled && self.local_root.is_none() {
@@ -466,11 +466,11 @@ impl VertexProtocol for RangeVertex {
         }
     }
 
-    fn round(&mut self, ctx: &mut Ctx<'_, RangeMsg>, inbox: &[(VertexId, RangeMsg)]) {
+    fn round(&mut self, ctx: &mut Ctx<'_, RangeMsg>, inbox: &mut Inbox<'_, RangeMsg>) {
         // As a parent: relay Ups to the right-hand block, O(1) state.
         // As a child: fold any Down into the accumulator.
         let r = ctx.round();
-        for (_, msg) in inbox.iter().cloned() {
+        for (_, msg) in inbox.drain() {
             match msg {
                 RangeMsg::Up(j, value) => {
                     let i = (r - 1) / 2; // the iteration this Up belongs to

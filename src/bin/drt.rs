@@ -12,7 +12,7 @@
 //! drt trace    <graph-file> <scheme-file> <src> <dst>   # flight-recorded send
 //! drt stretch  <graph-file> <scheme-file> [sources]     # stretch statistics
 //! drt report   <report-file>                            # validate a JSONL report
-//! drt bench    [--smoke|--quick|--full] [--label <l>] [--out <path>] [--repeats <r>]
+//! drt bench    [--smoke|--quick|--full] [--label <l>] [--out <path>] [--repeats <r>] [--threads <t>]
 //! drt compare  <old.json> <new.json> [--sim-tol <f>] [--wall-tol <f>] [--wall-gate]
 //! ```
 //!
@@ -23,6 +23,14 @@
 //! the hop-by-hop journey — round, port, forwarding-decision kind, queueing
 //! delay, accumulated weight — plus the ascent/descent decomposition, and
 //! cross-checks the accumulated weight against the central router.
+//!
+//! `drt build` and `drt bench` accept `--threads <t>` (or `DRT_THREADS`;
+//! default: all available cores) to run the engine-backed phases on a worker
+//! pool. Thread count never changes simulated results — rounds, messages,
+//! words, and memory are byte-identical at any thread count — only
+//! wall-clock time; `drt bench` stamps the count into the BENCH document and,
+//! at `--threads ≥ 2`, additionally measures the per-group serial-vs-parallel
+//! wall speedup, which `drt compare` reports as advisory.
 //!
 //! `drt build` and `drt trace` additionally accept `--report <path>` (or the
 //! `DRT_REPORT` environment variable) to write a JSONL run report: phase
@@ -62,7 +70,7 @@ fn main() -> ExitCode {
         Some("trace") => cmd_trace(&args[1..], &opts),
         Some("stretch") => cmd_stretch(&args[1..]),
         Some("report") => cmd_report(&args[1..]),
-        Some("bench") => cmd_bench(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..], &opts),
         Some("compare") => cmd_compare(&args[1..]),
         _ => {
             eprintln!(
@@ -151,7 +159,7 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
 
 fn cmd_build(args: &[String], opts: &obs::cli::ReportOptions) -> Result<(), String> {
     let [graph_path, k, out_path] = args else {
-        return Err("build <graph-file> <k> <out-file> [--report <path>]".into());
+        return Err("build <graph-file> <k> <out-file> [--report <path>] [--threads <t>]".into());
     };
     let g = load_graph(graph_path)?;
     let k: usize = k.parse().map_err(|_| format!("bad k '{k}'"))?;
@@ -161,7 +169,8 @@ fn cmd_build(args: &[String], opts: &obs::cli::ReportOptions) -> Result<(), Stri
     let mut rec = obs::Recorder::when(opts.reporting());
     let mut rng = ChaCha8Rng::seed_from_u64(0xD27);
     let span = rec.begin("drt/build");
-    let built = build_observed(&g, &BuildParams::new(k), &mut rng, &mut rec);
+    let params = BuildParams::new(k).with_threads(opts.resolved_threads());
+    let built = build_observed(&g, &params, &mut rng, &mut rec);
     rec.end_with_memory(span, built.report.memory.peaks());
     let bytes = persist::encode_scheme(&built.scheme).map_err(|e| e.to_string())?;
     std::fs::write(out_path, &bytes).map_err(|e| format!("writing {out_path}: {e}"))?;
@@ -395,7 +404,7 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_bench(args: &[String]) -> Result<(), String> {
+fn cmd_bench(args: &[String], opts: &obs::cli::ReportOptions) -> Result<(), String> {
     let mut tier = bench::suite::Tier::Quick;
     let mut label = String::from("dev");
     let mut out: Option<String> = None;
@@ -417,12 +426,15 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
             other => return Err(format!("unknown bench option '{other}'")),
         }
     }
+    let threads = opts.resolved_threads();
     let out = out.unwrap_or_else(|| format!("BENCH_{label}.json"));
     println!(
-        "running {} suite (label '{label}') — simulated columns are seed-pinned, wall is this machine",
-        tier.name()
+        "running {} suite (label '{label}', {threads} engine thread{}) — simulated columns are \
+         seed-pinned, wall is this machine",
+        tier.name(),
+        if threads == 1 { "" } else { "s" }
     );
-    let doc = bench::suite::run_suite(tier, &label, repeats, |case| {
+    let doc = bench::suite::run_suite(tier, &label, repeats, threads, |case| {
         println!("  done {case}");
     })?;
     for case in &doc.cases {
@@ -432,6 +444,16 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
             case.sim("rounds").unwrap_or(0),
             case.sim("words").unwrap_or(0),
             case.wall.p50_ns as f64 / 1e6
+        );
+    }
+    for s in &doc.speedup {
+        println!(
+            "speedup {:<28} {:.2}x at {} threads (serial p50 {:>8.2} ms, parallel p50 {:>8.2} ms)",
+            s.group,
+            s.speedup(),
+            s.threads,
+            s.serial_p50_ns as f64 / 1e6,
+            s.parallel_p50_ns as f64 / 1e6
         );
     }
     for check in &doc.checks {

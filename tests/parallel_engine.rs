@@ -1,0 +1,158 @@
+//! Serial-equivalence property tests for the parallel CONGEST engine.
+//!
+//! The parallel engine's contract is byte-identical simulation at any
+//! thread count: same `RunStats` (rounds, messages, words, congestion,
+//! per-vertex memory peaks), same flight-recorder hop traces, same ledger
+//! word totals. These properties drive random graphs, seeds, and payloads
+//! through every engine-backed protocol at thread counts 1, 2, and 8 —
+//! including counts far above this container's core count, which is
+//! exactly where a nondeterministic merge would show.
+
+use graphs::{tree, GraphBuilder, VertexId};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use routing::{build, packet, BuildParams};
+use tree_routing::distributed;
+
+/// Thread counts every property is checked at, against the serial run.
+const THREADS: [usize; 2] = [2, 8];
+
+/// A connected random weighted graph from a compact description: `n`,
+/// extra-edge pairs, and weights — all driven by proptest (same idiom as
+/// `tests/properties.rs`).
+fn arb_graph(max_n: usize) -> impl Strategy<Value = graphs::Graph> {
+    (3..max_n)
+        .prop_flat_map(|n| {
+            let tree_parents = proptest::collection::vec(0..u32::MAX, n - 1);
+            let tree_weights = proptest::collection::vec(1u64..50, n - 1);
+            let extras = proptest::collection::vec((0..u32::MAX, 0..u32::MAX, 1u64..50), 0..n);
+            (Just(n), tree_parents, tree_weights, extras)
+        })
+        .prop_map(|(n, parents, weights, extras)| {
+            let mut b = GraphBuilder::new(n);
+            for v in 1..n {
+                let p = (parents[v - 1] as usize) % v;
+                b.add_edge(VertexId(p as u32), VertexId(v as u32), weights[v - 1]);
+            }
+            for (x, y, w) in extras {
+                let u = (x as usize) % n;
+                let v = (y as usize) % n;
+                if u != v && !b.has_edge(VertexId(u as u32), VertexId(v as u32)) {
+                    b.add_edge(VertexId(u as u32), VertexId(v as u32), w);
+                }
+            }
+            b.build()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn bfs_is_thread_count_invariant(g in arb_graph(48), root_sel in 0..u32::MAX) {
+        let n = g.num_vertices();
+        let root = VertexId(root_sel % n as u32);
+        let net = congest::Network::new(g);
+        let serial = congest::bfs::build_bfs_tree_with(&net, root, 1);
+        for threads in THREADS {
+            let par = congest::bfs::build_bfs_tree_with(&net, root, threads);
+            prop_assert!(
+                serial.stats.same_simulation(&par.stats),
+                "BFS stats diverged at {threads} threads:\n  serial: {:?}\n  parallel: {:?}",
+                serial.stats,
+                par.stats
+            );
+            prop_assert_eq!(serial.depth, par.depth);
+            for v in 0..n {
+                let v = VertexId(v as u32);
+                prop_assert_eq!(serial.tree.parent(v), par.tree.parent(v));
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_is_thread_count_invariant(
+        g in arb_graph(40),
+        payloads in proptest::collection::vec((0..8u32, 0..u64::MAX), 1..12),
+    ) {
+        let n = g.num_vertices();
+        let net = congest::Network::new(g);
+        // Scatter the payloads over origin vertices deterministically.
+        let mut items: Vec<Vec<(u32, u64)>> = vec![Vec::new(); n];
+        for (i, &(seq, body)) in payloads.iter().enumerate() {
+            items[(i * 7 + 1) % n].push((seq, body));
+        }
+        let serial = congest::broadcast::broadcast_all_with(&net, items.clone(), 1);
+        for threads in THREADS {
+            let par = congest::broadcast::broadcast_all_with(&net, items.clone(), threads);
+            prop_assert!(
+                serial.stats.same_simulation(&par.stats),
+                "broadcast stats diverged at {threads} threads"
+            );
+            // Arrival order at every vertex must match, not just the set.
+            prop_assert_eq!(&serial.received, &par.received);
+        }
+    }
+
+    #[test]
+    fn packet_batches_are_thread_count_invariant(g in arb_graph(36), seed in 0..u64::MAX) {
+        let n = g.num_vertices();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let built = build(&g, &BuildParams::new(2), &mut rng);
+        let pairs: Vec<(VertexId, VertexId)> = (0..n)
+            .map(|i| (VertexId(i as u32), VertexId(((i * 5 + 1) % n) as u32)))
+            .collect();
+        let net = congest::Network::new(g);
+        let serial = packet::send_many_traced_with(&net, &built.scheme, &pairs, 1);
+        for threads in THREADS {
+            let par = packet::send_many_traced_with(&net, &built.scheme, &pairs, threads);
+            prop_assert!(
+                serial.report.stats.same_simulation(&par.report.stats),
+                "batch stats diverged at {threads} threads"
+            );
+            prop_assert_eq!(&serial.report.outcomes, &par.report.outcomes);
+            prop_assert_eq!(serial.report.undeliverable, par.report.undeliverable);
+            prop_assert_eq!(serial.report.dropped, par.report.dropped);
+            // Flight-recorder hop traces are identical packet by packet.
+            prop_assert_eq!(&serial.traces, &par.traces);
+            // Heatmaps aggregate the same words/packets.
+            prop_assert_eq!(serial.edge_load.total_words(), par.edge_load.total_words());
+            prop_assert_eq!(
+                serial.edge_load.total_packets(),
+                par.edge_load.total_packets()
+            );
+            prop_assert_eq!(
+                serial.vertex_load.total_words(),
+                par.vertex_load.total_words()
+            );
+        }
+    }
+
+    #[test]
+    fn tree_build_ledger_is_thread_count_invariant(g in arb_graph(36), seed in 0..u64::MAX) {
+        let t = tree::shortest_path_tree(&g, VertexId(0));
+        let net = congest::Network::new(g);
+        let run = |threads: usize| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            distributed::build(
+                &net,
+                &t,
+                &distributed::Config {
+                    threads,
+                    ..distributed::Config::default()
+                },
+                &mut rng,
+            )
+        };
+        let serial = run(1);
+        for threads in THREADS {
+            let par = run(threads);
+            prop_assert_eq!(serial.ledger.words(), par.ledger.words());
+            prop_assert_eq!(serial.ledger.rounds(), par.ledger.rounds());
+            prop_assert_eq!(serial.ledger.messages(), par.ledger.messages());
+            prop_assert_eq!(serial.memory.max_peak(), par.memory.max_peak());
+            prop_assert_eq!(serial.bfs_depth, par.bfs_depth);
+        }
+    }
+}
