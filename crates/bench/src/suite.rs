@@ -2,14 +2,17 @@
 //! fixed-seed sweeps, a schema'd `BENCH_*.json` trajectory document, an
 //! automated scaling-law checker, and threshold-based regression diffing.
 //!
-//! The suite sweeps three groups:
+//! The suite sweeps four groups:
 //!
 //! * `tree_build` — the Theorem-2 distributed tree-routing construction on
 //!   Erdős–Rényi shortest-path trees, across `n`;
 //! * `scheme_build` — the Theorem-3 general-graph scheme at `k = 2`, across
 //!   `n`;
 //! * `route_batch` — store-and-forward routing batches through the CONGEST
-//!   engine on a fixed prebuilt scheme, across the number of packets.
+//!   engine on a fixed prebuilt scheme, across the number of packets;
+//! * `traffic_steady` — open-loop steady-state traffic (finite queues,
+//!   per-round injection) on a fixed prebuilt scheme, across the offered
+//!   rate — the delivered-throughput determinism gate for `drt traffic`.
 //!
 //! Every case records two kinds of numbers with different trust levels. The
 //! **simulated** columns (rounds, messages, words, peak memory, table/label
@@ -30,6 +33,7 @@ use obs::json::Value;
 use obs::metrics::{quantile_ns, Stopwatch};
 use obs::scaling::{fit_power_law, ExponentRange, ScalingCheck};
 use routing::{build_observed, packet, BuildParams};
+use traffic::{ScenarioConfig, TrafficScenario, WorkloadKind};
 use tree_routing::distributed;
 
 use crate::sweep::Sweep;
@@ -47,6 +51,14 @@ const BATCH_SEED: u64 = 0x0BA7;
 /// Graph size and stretch parameter for the `route_batch` group.
 const BATCH_N: usize = 256;
 const BATCH_K: usize = 2;
+/// Seed for the `traffic_steady` group's fixed graph, scheme, and schedules.
+const TRAFFIC_SEED: u64 = 0x7AF1;
+/// Graph size for the `traffic_steady` group.
+const TRAFFIC_N: usize = 160;
+/// Injection horizon for every `traffic_steady` case.
+const TRAFFIC_INJECT_ROUNDS: u64 = 96;
+/// Per-port queue capacity for every `traffic_steady` case.
+const TRAFFIC_QUEUE_CAP: usize = 4;
 
 /// Suite size tiers. `Quick` cases are a strict subset of `Full` cases with
 /// identical ids, seeds, and therefore identical simulated columns, so a
@@ -113,6 +125,16 @@ impl Tier {
             Tier::Smoke => &[8, 16],
             Tier::Quick => &[16, 64, 256],
             Tier::Full => &[16, 64, 256, 1024, 4096],
+        }
+    }
+
+    /// Offered rates (packets per round, network-wide) for the
+    /// `traffic_steady` sweep.
+    fn traffic_rates(self) -> &'static [f64] {
+        match self {
+            Tier::Smoke => &[0.5, 2.0],
+            Tier::Quick => &[0.5, 1.0, 2.0],
+            Tier::Full => &[0.5, 1.0, 2.0, 4.0, 8.0],
         }
     }
 }
@@ -524,6 +546,7 @@ pub fn run_suite(
     let mut tree_walls = WallPair::default();
     let mut scheme_walls = WallPair::default();
     let mut batch_walls = WallPair::default();
+    let mut traffic_walls = WallPair::default();
     for &n in tier.tree_sizes() {
         cases.push(tree_case(n, repeats, threads, &mut tree_walls)?);
         progress(&cases.last().unwrap().id);
@@ -539,12 +562,20 @@ pub fn run_suite(
         &mut batch_walls,
         &mut progress,
     )?);
+    cases.extend(traffic_cases(
+        tier.traffic_rates(),
+        repeats,
+        threads,
+        &mut traffic_walls,
+        &mut progress,
+    )?);
     let checks = scaling_checks(&cases);
     let mut speedup = Vec::new();
     for (group, walls) in [
         ("tree_build", &tree_walls),
         ("scheme_build", &scheme_walls),
         ("route_batch", &batch_walls),
+        ("traffic_steady", &traffic_walls),
     ] {
         if !walls.parallel.is_empty() {
             speedup.push(GroupSpeedup {
@@ -775,6 +806,69 @@ fn batch_cases(
     Ok(cases)
 }
 
+fn traffic_cases(
+    rates: &[f64],
+    repeats: usize,
+    threads: usize,
+    walls: &mut WallPair,
+    progress: &mut impl FnMut(&str),
+) -> Result<Vec<CaseResult>, String> {
+    // One fixed graph and scheme for the whole group: the sweep varies the
+    // offered rate, not the network.
+    let mut rng = Sweep::rng(TRAFFIC_SEED, 0);
+    let g = Family::ErdosRenyi.generate(TRAFFIC_N, &mut rng);
+    let built = routing::build(&g, &BuildParams::new(BATCH_K), &mut rng);
+    let net = Network::new(g);
+    let mut cases = Vec::new();
+    for &rate in rates {
+        // Rates are swept in hundredths so the x coordinate stays integral
+        // (a power-law fit is scale-invariant in x).
+        let centi = (rate * 100.0).round() as u64;
+        let id = format!("traffic_steady/er/uniform/r{centi}");
+        let (sim, wall) = repeated(&id, repeats, threads, walls, |threads| {
+            let scenario = TrafficScenario {
+                network: &net,
+                scheme: &built.scheme,
+                workload: WorkloadKind::Uniform,
+                config: ScenarioConfig {
+                    inject_rounds: TRAFFIC_INJECT_ROUNDS,
+                    queue_cap: TRAFFIC_QUEUE_CAP,
+                    threads,
+                    seed: TRAFFIC_SEED,
+                    ..ScenarioConfig::default()
+                },
+            };
+            let run = scenario.run(rate);
+            let s = &run.summary;
+            let sim = vec![
+                ("rounds".to_string(), run.stats.rounds),
+                ("messages".to_string(), run.stats.messages),
+                ("words".to_string(), run.stats.words),
+                (
+                    "peak_memory_words".to_string(),
+                    run.stats.memory.max_peak() as u64,
+                ),
+                ("injected".to_string(), s.injected),
+                ("delivered".to_string(), s.delivered),
+                ("dropped".to_string(), s.dropped()),
+                ("peak_queue_packets".to_string(), s.peak_queue_packets),
+            ];
+            // The engine samples its own wall clock; use it so the number
+            // prices the forwarding rounds, not the schedule planning.
+            (sim, run.stats.wall_ns)
+        })?;
+        cases.push(CaseResult {
+            id,
+            group: "traffic_steady".to_string(),
+            x: centi,
+            sim,
+            wall,
+        });
+        progress(&cases.last().unwrap().id);
+    }
+    Ok(cases)
+}
+
 /// The paper-predicted exponent ranges the checker asserts: metric, range,
 /// and the claim it operationalizes. Log-like growth is asserted as a small
 /// positive exponent band (see [`obs::scaling`]); polylog slack widens every
@@ -828,6 +922,13 @@ const PREDICTIONS: &[(&str, &str, f64, f64, &str)] = &[
         0.70,
         1.30,
         "Θ(P) total words for a P-packet batch (loop-free per-tree forwarding)",
+    ),
+    (
+        "traffic_steady",
+        "delivered",
+        0.70,
+        1.30,
+        "delivered throughput tracks the offered rate below saturation",
     ),
 ];
 
@@ -1240,7 +1341,15 @@ mod tests {
         assert!(serial.speedup.is_empty());
         // One speedup entry per group, all measured at 2 threads.
         let groups: Vec<&str> = parallel.speedup.iter().map(|s| s.group.as_str()).collect();
-        assert_eq!(groups, ["tree_build", "scheme_build", "route_batch"]);
+        assert_eq!(
+            groups,
+            [
+                "tree_build",
+                "scheme_build",
+                "route_batch",
+                "traffic_steady"
+            ]
+        );
         assert!(parallel.speedup.iter().all(|s| s.threads == 2));
         // The simulated columns are thread-count independent, so the two
         // documents diff cleanly under the exact gate.
@@ -1257,6 +1366,7 @@ mod tests {
             Tier::Smoke.tree_sizes().len()
                 + Tier::Smoke.scheme_sizes().len()
                 + Tier::Smoke.batch_loads().len()
+                + Tier::Smoke.traffic_rates().len()
         );
         // Two points per group: no scaling fits at smoke size.
         assert!(doc.checks.is_empty());

@@ -79,6 +79,18 @@ pub trait VertexProtocol {
     fn queued_words(&self) -> usize {
         0
     }
+
+    /// Whether this vertex has scheduled future work that does not depend on
+    /// receiving a message (e.g. open-loop traffic sources with arrival
+    /// gaps). The engine's quiescence rule normally stops a run after a
+    /// silent round — once nothing was sent and nothing is in flight, a
+    /// purely message-driven protocol can never act again. A vertex that
+    /// returns `true` suspends that rule for the round, so time keeps
+    /// advancing through idle gaps. Message-driven protocols keep the
+    /// default `false`.
+    fn keep_alive(&self) -> bool {
+        false
+    }
 }
 
 /// The view a protocol instance has of its environment during a round.
@@ -232,6 +244,9 @@ struct ChunkStats {
     first_violation: Option<(VertexId, VertexId, usize)>,
     /// Whether every protocol in the chunk reports done after this phase.
     chunk_done: bool,
+    /// Whether any protocol in the chunk has scheduled non-message-driven
+    /// work pending (suspends the quiescence rule).
+    keep_alive: bool,
     queued_words: usize,
 }
 
@@ -387,6 +402,7 @@ impl Engine {
 
             let mut sent_last_round = stats.messages > 0;
             let mut all_done = cs.chunk_done;
+            let mut keep_alive = cs.keep_alive;
             loop {
                 let in_flight = arena.total() > 0;
                 if all_done && !in_flight {
@@ -395,8 +411,9 @@ impl Engine {
                 }
                 // Quiescence: protocols are message-driven, so once a round
                 // passes with nothing sent and nothing in flight, no state
-                // can change.
-                if !in_flight && !sent_last_round {
+                // can change — unless a vertex holds scheduled future work
+                // (`keep_alive`), in which case time must keep advancing.
+                if !in_flight && !sent_last_round && !keep_alive {
                     stats.completed = all_done;
                     break;
                 }
@@ -439,6 +456,7 @@ impl Engine {
                 }
                 sent_last_round = stats.messages > messages_before;
                 all_done = cs.chunk_done;
+                keep_alive = cs.keep_alive;
             }
         }
         stats.memory = memory;
@@ -566,6 +584,7 @@ impl Engine {
 
             let mut sent_last_round = stats.messages > 0;
             let mut all_done = cs.chunk_done;
+            let mut keep_alive = cs.keep_alive;
             loop {
                 let in_flight = tasks
                     .iter()
@@ -576,7 +595,7 @@ impl Engine {
                     stats.completed = true;
                     break;
                 }
-                if !in_flight && !sent_last_round {
+                if !in_flight && !sent_last_round && !keep_alive {
                     stats.completed = all_done;
                     break;
                 }
@@ -604,6 +623,7 @@ impl Engine {
                 }
                 sent_last_round = stats.messages > messages_before;
                 all_done = cs.chunk_done;
+                keep_alive = cs.keep_alive;
             }
             // Dropping `to_workers` (scope-local) ends every worker's recv
             // loop; the scope then joins them.
@@ -666,6 +686,7 @@ fn merge_round<M>(tasks: &mut [Option<Task<M>>], chunk: usize) -> ChunkStats {
             merged.first_violation = cs.first_violation;
         }
         merged.chunk_done &= cs.chunk_done;
+        merged.keep_alive |= cs.keep_alive;
         merged.queued_words += cs.queued_words;
     }
     merged
@@ -722,6 +743,7 @@ fn execute_chunk<P: VertexProtocol>(
         account(&outbox.msgs[start..], vid, cap, per_edge, &mut cs);
     }
     cs.chunk_done = protocols.iter().all(P::is_done);
+    cs.keep_alive = protocols.iter().any(P::keep_alive);
     if sample_queued {
         cs.queued_words = protocols.iter().map(P::queued_words).sum::<usize>();
     }
@@ -898,6 +920,60 @@ mod tests {
         let (_, stats) = Engine::new().run(&net, vec![Stubborn, Stubborn]);
         assert!(!stats.completed);
         assert_eq!(stats.rounds, 0);
+    }
+
+    #[test]
+    fn keep_alive_spans_idle_gaps() {
+        /// Vertex 0 sends one token at round 5 and nothing before — an
+        /// open-loop source with an arrival gap. Without `keep_alive` the
+        /// engine would quiesce after the first silent round.
+        struct Sleeper {
+            fire_at: Option<u64>,
+            heard: bool,
+        }
+        impl VertexProtocol for Sleeper {
+            type Msg = u64;
+            fn init(&mut self, _: &mut Ctx<'_, u64>) {}
+            fn round(&mut self, ctx: &mut Ctx<'_, u64>, inbox: &mut Inbox<'_, u64>) {
+                if !inbox.is_empty() {
+                    self.heard = true;
+                }
+                if self.fire_at == Some(ctx.round()) {
+                    ctx.send_all(7);
+                    self.fire_at = None;
+                }
+            }
+            fn is_done(&self) -> bool {
+                self.fire_at.is_none()
+            }
+            fn memory_words(&self) -> usize {
+                1
+            }
+            fn keep_alive(&self) -> bool {
+                self.fire_at.is_some()
+            }
+        }
+        let make = || {
+            vec![
+                Sleeper {
+                    fire_at: Some(5),
+                    heard: false,
+                },
+                Sleeper {
+                    fire_at: None,
+                    heard: false,
+                },
+            ]
+        };
+        let net = path_network(2);
+        let (protos, stats) = Engine::new().run(&net, make());
+        assert!(stats.completed);
+        assert!(protos[1].heard, "token must arrive after the idle gap");
+        assert_eq!(stats.rounds, 6, "5 idle rounds + 1 delivery round");
+        // Identical at higher thread counts.
+        let (protos_p, stats_p) = Engine::with_threads(2).run(&net, make());
+        assert!(stats_p.same_simulation(&stats));
+        assert!(protos_p[1].heard);
     }
 
     #[test]

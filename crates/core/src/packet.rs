@@ -68,6 +68,55 @@ fn ours_label(entry: &LabelEntry) -> &TreeLabel {
     tree_label
 }
 
+/// The source-side routing decision for one packet, fixed at injection
+/// time: the tree the source commits to and the destination's label in it.
+///
+/// This is the incremental injection API used by open-loop traffic
+/// generators (the `traffic` crate): plan once per flow, then stamp any
+/// number of packets from the plan round by round, without re-deriving the
+/// send variants' private decision rule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PacketPlan {
+    /// The pivot whose tree the source commits to.
+    pub tree_root: VertexId,
+    /// The destination's label in that tree (what the packet carries).
+    pub label: TreeLabel,
+    /// The source's estimate for the committed route,
+    /// `d(src, pivot) + d(pivot, dst)` as priced by table and label — an
+    /// upper bound on the routed weight.
+    pub est_cost: Weight,
+}
+
+impl PacketPlan {
+    /// Words a packet built from this plan occupies on the wire under the
+    /// batched header layout (`id`, `tree_root`, `weight` + label).
+    pub fn loaded_words(&self) -> usize {
+        3 + self.label.words()
+    }
+}
+
+/// Plan a packet from `src` to `dst`: the source-optimal tree choice shared
+/// by every send variant, exposed for incremental per-round injection.
+/// Returns `None` when no label entry of `dst` names a tree containing
+/// `src` (the pair is undeliverable).
+///
+/// # Panics
+///
+/// Panics if the scheme was built in prior-baseline mode.
+pub fn plan(scheme: &RoutingScheme, src: VertexId, dst: VertexId) -> Option<PacketPlan> {
+    let entry = choose_entry(scheme, src, dst)?;
+    let src_table = &scheme.tables[src.index()];
+    let est_cost = src_table
+        .entry(entry.pivot)
+        .map(|te| te.dist.saturating_add(entry.dist))
+        .expect("chosen entry's pivot is in the source table");
+    Some(PacketPlan {
+        tree_root: entry.pivot,
+        label: ours_label(entry).clone(),
+        est_cost,
+    })
+}
+
 /// The packet on the wire: header + target tree label.
 ///
 /// The optional trace is out-of-band flight-recorder state and does not
@@ -832,6 +881,34 @@ mod tests {
             assert_eq!(weight, central.weight);
             assert_eq!(rounds as usize, central.hops());
         }
+    }
+
+    #[test]
+    fn plan_matches_the_send_commitment() {
+        let (net, scheme) = setup(60, 615);
+        for (s, t) in [(0u32, 59u32), (5, 30), (42, 7)] {
+            let p = plan(&scheme, VertexId(s), VertexId(t)).expect("connected pair");
+            let flight = send_traced(&net, &scheme, VertexId(s), VertexId(t));
+            let trace = flight.trace.expect("delivered");
+            // The plan commits to exactly the tree the send variants choose.
+            assert_eq!(p.tree_root.0, trace.tree_root);
+            let (_, weight) = flight.report.outcome.delivery().expect("delivered");
+            // The estimate prices the committed route: an upper bound on the
+            // routed weight.
+            assert!(p.est_cost >= weight, "est {} < routed {weight}", p.est_cost);
+            assert_eq!(p.loaded_words(), 3 + p.label.words());
+        }
+    }
+
+    #[test]
+    fn plan_is_none_for_disconnected_pairs() {
+        let mut b = graphs::GraphBuilder::new(4);
+        b.add_edge(VertexId(0), VertexId(1), 1);
+        b.add_edge(VertexId(2), VertexId(3), 1);
+        let g = b.build();
+        let mut rng = ChaCha8Rng::seed_from_u64(616);
+        let built = build(&g, &BuildParams::new(2), &mut rng);
+        assert!(plan(&built.scheme, VertexId(0), VertexId(3)).is_none());
     }
 
     #[test]

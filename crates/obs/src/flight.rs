@@ -285,7 +285,7 @@ impl LoadStats {
         }
     }
 
-    fn to_value(self) -> Value {
+    pub(crate) fn to_value(self) -> Value {
         Value::object(vec![
             ("min", Value::from(self.min)),
             ("p50", Value::from(self.p50)),
@@ -294,6 +294,25 @@ impl LoadStats {
             ("max", Value::from(self.max)),
             ("mean", Value::from(self.mean)),
         ])
+    }
+
+    pub(crate) fn from_value(v: &Value) -> Result<LoadStats, String> {
+        let field = |key: &str| {
+            v.get(key)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("load stats missing numeric field '{key}'"))
+        };
+        Ok(LoadStats {
+            min: field("min")?,
+            p50: field("p50")?,
+            p95: field("p95")?,
+            p99: field("p99")?,
+            max: field("max")?,
+            mean: v
+                .get("mean")
+                .and_then(Value::as_f64)
+                .ok_or_else(|| "load stats missing 'mean'".to_string())?,
+        })
     }
 }
 
@@ -367,6 +386,25 @@ impl EdgeLoadMap {
     pub fn stats(&self) -> LoadStats {
         let loads: Vec<u64> = self.loads.values().map(|l| l.words).collect();
         LoadStats::from_loads(&loads)
+    }
+
+    /// The `k` hottest edges by word load, descending; ties break toward
+    /// the smaller endpoint pair so the ranking is deterministic.
+    pub fn hottest(&self, k: usize) -> Vec<((u32, u32), Load)> {
+        let mut entries: Vec<((u32, u32), Load)> =
+            self.loads.iter().map(|(&e, &l)| (e, l)).collect();
+        entries.sort_by(|(ea, la), (eb, lb)| lb.words.cmp(&la.words).then(ea.cmp(eb)));
+        entries.truncate(k);
+        entries
+    }
+
+    /// Fold every cell of `other` into this map.
+    pub fn merge(&mut self, other: &EdgeLoadMap) {
+        for (&(u, v), load) in &other.loads {
+            let cell = self.loads.entry((u, v)).or_default();
+            cell.packets += load.packets;
+            cell.words += load.words;
+        }
     }
 
     /// Serialize as an `edge_load` JSONL record; `extra` fields (e.g. the
@@ -828,6 +866,34 @@ mod tests {
         let back = EdgeLoadMap::from_value(&v).unwrap();
         assert_eq!(back.total_words(), map.total_words());
         assert_eq!(back.load(1, 2), map.load(1, 2));
+    }
+
+    #[test]
+    fn hottest_ranks_by_words_with_deterministic_ties() {
+        let mut map = EdgeLoadMap::new();
+        map.record(0, 1, 5);
+        map.record(2, 3, 9);
+        map.record(4, 5, 9);
+        map.record(6, 7, 1);
+        let top = map.hottest(3);
+        assert_eq!(top.len(), 3);
+        assert_eq!(top[0].0, (2, 3)); // ties break toward smaller endpoints
+        assert_eq!(top[1].0, (4, 5));
+        assert_eq!(top[2].0, (0, 1));
+        assert!(map.hottest(10).len() == 4);
+    }
+
+    #[test]
+    fn merge_folds_cells() {
+        let mut a = EdgeLoadMap::new();
+        a.record(0, 1, 5);
+        let mut b = EdgeLoadMap::new();
+        b.record(1, 0, 3);
+        b.record(2, 3, 2);
+        a.merge(&b);
+        assert_eq!(a.load(0, 1).unwrap().words, 8);
+        assert_eq!(a.load(0, 1).unwrap().packets, 2);
+        assert_eq!(a.total_words(), 10);
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod scaling;
+pub mod traffic;
 
 use json::Value;
 

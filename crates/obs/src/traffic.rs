@@ -1,0 +1,246 @@
+//! The steady-state traffic record: one `traffic_summary` JSONL line per
+//! scenario run.
+//!
+//! The flight recorder ([`crate::flight`]) prices individual journeys; this
+//! record summarizes an *open-loop* run — packets injected every round at a
+//! configured rate into finite per-vertex queues — by the quantities a
+//! traffic plane is judged on: delivered throughput, drop/loss split,
+//! end-to-end latency and pure queueing-delay distributions, peak queue
+//! occupancy, and stretch. [`TrafficSummary::from_value`] re-validates the
+//! packet-conservation identity (`injected = delivered + dropped +
+//! in_flight`) on parse, so a tampered or truncated report fails loudly.
+
+use crate::flight::LoadStats;
+use crate::json::Value;
+
+/// Summary of one steady-state traffic run at one offered rate.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TrafficSummary {
+    /// Workload model name (e.g. `uniform`, `gravity`, `hotspot`, `worst`).
+    pub workload: String,
+    /// Arrival process name (e.g. `fixed`, `bernoulli`).
+    pub arrival: String,
+    /// Offered rate in packets per round (network-wide).
+    pub rate: f64,
+    /// Rounds during which the sources injected.
+    pub inject_rounds: u64,
+    /// Engine rounds actually executed (injection plus drain).
+    pub sim_rounds: u64,
+    /// Per-port queue capacity in packets.
+    pub queue_cap: u64,
+    /// Drop policy name (`tail-drop` or `oldest-drop`).
+    pub drop_policy: String,
+    /// Pairs the workload offered, including undeliverable ones.
+    pub offered: u64,
+    /// Packets actually injected (offered minus undeliverable).
+    pub injected: u64,
+    /// Offered pairs with no common tree; never injected.
+    pub undeliverable: u64,
+    /// Packets that reached their destination.
+    pub delivered: u64,
+    /// Packets dropped by a full queue.
+    pub dropped_capacity: u64,
+    /// Packets dropped by a stuck forwarding rule or missing port.
+    pub dropped_stuck: u64,
+    /// Packets still queued or on the wire when the run was cut off
+    /// (0 whenever the run drained).
+    pub in_flight: u64,
+    /// Whether the run drained before the round cap.
+    pub drained: bool,
+    /// Delivered packets per executed round.
+    pub throughput: f64,
+    /// Distribution of per-packet delivery latency in rounds
+    /// (injection to delivery: hops plus queueing).
+    pub latency: LoadStats,
+    /// Distribution of per-packet pure queueing delay in rounds
+    /// (latency minus hop count).
+    pub queue_delay: LoadStats,
+    /// Largest number of packets queued network-wide at any round end.
+    pub peak_queue_packets: u64,
+    /// Largest number of queued words network-wide at any round end.
+    pub peak_queue_words: u64,
+    /// Mean routed-weight / true-distance over delivered packets.
+    pub stretch_mean: f64,
+    /// Worst routed-weight / true-distance over delivered packets.
+    pub stretch_max: f64,
+}
+
+impl TrafficSummary {
+    /// Total packets lost after injection, either cause.
+    pub fn dropped(&self) -> u64 {
+        self.dropped_capacity + self.dropped_stuck
+    }
+
+    /// The packet-conservation identity every run must satisfy.
+    pub fn conserved(&self) -> bool {
+        self.injected == self.delivered + self.dropped() + self.in_flight
+            && self.offered == self.injected + self.undeliverable
+    }
+
+    /// Serialize as a `traffic_summary` JSONL record; `extra` fields (e.g.
+    /// a sweep index) are appended to the top-level object.
+    pub fn to_value(&self, extra: &[(&str, Value)]) -> Value {
+        let mut fields = vec![
+            ("type", Value::from("traffic_summary")),
+            ("workload", Value::from(self.workload.as_str())),
+            ("arrival", Value::from(self.arrival.as_str())),
+            ("rate", Value::from(self.rate)),
+            ("inject_rounds", Value::from(self.inject_rounds)),
+            ("sim_rounds", Value::from(self.sim_rounds)),
+            ("queue_cap", Value::from(self.queue_cap)),
+            ("drop_policy", Value::from(self.drop_policy.as_str())),
+            ("offered", Value::from(self.offered)),
+            ("injected", Value::from(self.injected)),
+            ("undeliverable", Value::from(self.undeliverable)),
+            ("delivered", Value::from(self.delivered)),
+            ("dropped_capacity", Value::from(self.dropped_capacity)),
+            ("dropped_stuck", Value::from(self.dropped_stuck)),
+            ("in_flight", Value::from(self.in_flight)),
+            ("drained", Value::from(self.drained)),
+            ("throughput", Value::from(self.throughput)),
+            ("latency", self.latency.to_value()),
+            ("queue_delay", self.queue_delay.to_value()),
+            ("peak_queue_packets", Value::from(self.peak_queue_packets)),
+            ("peak_queue_words", Value::from(self.peak_queue_words)),
+            ("stretch_mean", Value::from(self.stretch_mean)),
+            ("stretch_max", Value::from(self.stretch_max)),
+        ];
+        for (k, v) in extra {
+            fields.push((k, v.clone()));
+        }
+        Value::object(fields)
+    }
+
+    /// Parse a `traffic_summary` record back, re-checking conservation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or ill-typed field, or a
+    /// violation of the conservation identity.
+    pub fn from_value(v: &Value) -> Result<TrafficSummary, String> {
+        if v.get("type").and_then(Value::as_str) != Some("traffic_summary") {
+            return Err("not a traffic_summary record".to_string());
+        }
+        let int = |key: &str| {
+            v.get(key)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("traffic_summary missing numeric field '{key}'"))
+        };
+        let float = |key: &str| {
+            v.get(key)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("traffic_summary missing numeric field '{key}'"))
+        };
+        let text = |key: &str| {
+            v.get(key)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("traffic_summary missing string field '{key}'"))
+        };
+        let dist = |key: &str| {
+            v.get(key)
+                .ok_or_else(|| format!("traffic_summary missing '{key}'"))
+                .and_then(LoadStats::from_value)
+        };
+        let summary = TrafficSummary {
+            workload: text("workload")?,
+            arrival: text("arrival")?,
+            rate: float("rate")?,
+            inject_rounds: int("inject_rounds")?,
+            sim_rounds: int("sim_rounds")?,
+            queue_cap: int("queue_cap")?,
+            drop_policy: text("drop_policy")?,
+            offered: int("offered")?,
+            injected: int("injected")?,
+            undeliverable: int("undeliverable")?,
+            delivered: int("delivered")?,
+            dropped_capacity: int("dropped_capacity")?,
+            dropped_stuck: int("dropped_stuck")?,
+            in_flight: int("in_flight")?,
+            drained: v
+                .get("drained")
+                .and_then(Value::as_bool)
+                .ok_or_else(|| "traffic_summary missing 'drained'".to_string())?,
+            throughput: float("throughput")?,
+            latency: dist("latency")?,
+            queue_delay: dist("queue_delay")?,
+            peak_queue_packets: int("peak_queue_packets")?,
+            peak_queue_words: int("peak_queue_words")?,
+            stretch_mean: float("stretch_mean")?,
+            stretch_max: float("stretch_max")?,
+        };
+        if !summary.conserved() {
+            return Err(format!(
+                "traffic_summary violates conservation: injected {} != \
+                 delivered {} + dropped {} + in_flight {} (offered {}, undeliverable {})",
+                summary.injected,
+                summary.delivered,
+                summary.dropped(),
+                summary.in_flight,
+                summary.offered,
+                summary.undeliverable,
+            ));
+        }
+        Ok(summary)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn sample() -> TrafficSummary {
+        TrafficSummary {
+            workload: "hotspot".to_string(),
+            arrival: "fixed".to_string(),
+            rate: 2.5,
+            inject_rounds: 64,
+            sim_rounds: 80,
+            queue_cap: 8,
+            drop_policy: "tail-drop".to_string(),
+            offered: 160,
+            injected: 158,
+            undeliverable: 2,
+            delivered: 150,
+            dropped_capacity: 5,
+            dropped_stuck: 3,
+            in_flight: 0,
+            drained: true,
+            throughput: 150.0 / 80.0,
+            latency: LoadStats::from_loads(&[3, 4, 5, 9]),
+            queue_delay: LoadStats::from_loads(&[0, 1, 2, 6]),
+            peak_queue_packets: 12,
+            peak_queue_words: 96,
+            stretch_mean: 1.2,
+            stretch_max: 2.8,
+        }
+    }
+
+    #[test]
+    fn summary_round_trips_through_json() {
+        let s = sample();
+        assert!(s.conserved());
+        let text = s.to_value(&[("sweep", Value::from(3u64))]).to_string();
+        let v = json::parse(&text).unwrap();
+        assert_eq!(v.get("sweep").unwrap().as_u64(), Some(3));
+        let back = TrafficSummary::from_value(&v).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn parse_rejects_conservation_violation() {
+        let mut s = sample();
+        s.delivered += 1; // injected no longer balances
+        assert!(!s.conserved());
+        let v = s.to_value(&[]);
+        let err = TrafficSummary::from_value(&v).unwrap_err();
+        assert!(err.contains("conservation"), "{err}");
+    }
+
+    #[test]
+    fn parse_rejects_wrong_type() {
+        let v = Value::object(vec![("type", Value::from("span"))]);
+        assert!(TrafficSummary::from_value(&v).is_err());
+    }
+}

@@ -1,0 +1,37 @@
+//! Steady-state traffic engine over the compact-routing scheme.
+//!
+//! The routing crate's packet plane answers "does a batch get where it is
+//! going, and at what stretch?" — everything injected at round 0, queues
+//! unbounded. This crate asks the *sustained* question instead: at what
+//! offered load does a network running the Thorup–Zwick forwarding rule
+//! keep up, and how does it fail when it no longer does?
+//!
+//! Three layers:
+//!
+//! * [`workload`] — seeded traffic matrices (uniform, degree-weighted
+//!   gravity, single-sink hotspot, and adversarial worst-stretch pairs mined
+//!   from the distance oracle) plus deterministic arrival processes. A
+//!   schedule is a pure function of `(graph, scheme, seed, rate)`.
+//! * [`sim`] — the forwarding plane: per-port finite FIFO queues with
+//!   tail-drop or oldest-drop, one packet per edge per round, driven by the
+//!   CONGEST engine's open-loop (`keep_alive`) mode. Per-round logs support
+//!   the packet-conservation identity `injected = delivered + dropped +
+//!   queued + on-wire` at every round.
+//! * [`scenario`] — the runner: plan a schedule, simulate, summarize into an
+//!   `obs` [`traffic_summary`](obs::traffic::TrafficSummary) record, and
+//!   sweep rates to find the saturation knee (the largest rate meeting an
+//!   [`Slo`](scenario::Slo)).
+//!
+//! Everything is deterministic: repeated runs and different engine
+//! worker-thread counts produce byte-identical summaries, series, and edge
+//! loads.
+
+pub mod scenario;
+pub mod sim;
+pub mod workload;
+
+pub use scenario::{
+    FlowOutcome, FlowRecord, KneeReport, ScenarioConfig, Slo, TrafficRun, TrafficScenario,
+};
+pub use sim::{DropPolicy, RoundTotals, TrafficPacket};
+pub use workload::{Arrival, ArrivalKind, Workload, WorkloadKind};

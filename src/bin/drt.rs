@@ -7,10 +7,11 @@
 //! drt generate <family> <n> [seed]          # emit an edge list to stdout
 //! drt info     <graph-file>                 # n, m, D, S, degrees, aspect ratio
 //! drt build    <graph-file> <k> <out-file>  # preprocess; save scheme bytes
-//! drt route    <graph-file> <scheme-file> <src> <dst>
+//! drt route    <graph-file> <scheme-file> <src> <dst> [--load <p>] [--seed <s>]
 //! drt query    <graph-file> <scheme-file> <src> <dst>   # oracle distance
 //! drt trace    <graph-file> <scheme-file> <src> <dst>   # flight-recorded send
 //! drt stretch  <graph-file> <scheme-file> [sources]     # stretch statistics
+//! drt traffic  <graph-file> <scheme-file> [--workload <w>] [--rate <r,...>] ...
 //! drt report   <report-file>                            # validate a JSONL report
 //! drt bench    [--smoke|--quick|--full] [--label <l>] [--out <path>] [--repeats <r>] [--threads <t>]
 //! drt compare  <old.json> <new.json> [--sim-tol <f>] [--wall-tol <f>] [--wall-gate]
@@ -18,11 +19,24 @@
 //!
 //! Graph files use the [`graphs::io`] edge-list format.
 //!
-//! `drt route` walks the forwarding rule centrally; `drt trace` sends a real
-//! packet through the CONGEST engine with the flight recorder on and prints
-//! the hop-by-hop journey — round, port, forwarding-decision kind, queueing
-//! delay, accumulated weight — plus the ascent/descent decomposition, and
-//! cross-checks the accumulated weight against the central router.
+//! `drt route` walks the forwarding rule centrally and reports the pair's
+//! engine *delivery status* — delivered vs dropped mid-route vs
+//! undeliverable (no common tree) — distinctly; with `--load <p>` it also
+//! pushes a seeded batch of `p` packets through the store-and-forward
+//! engine and prints the delivered/dropped/undeliverable counts. `drt
+//! trace` sends a real packet through the CONGEST engine with the flight
+//! recorder on and prints the hop-by-hop journey — round, port,
+//! forwarding-decision kind, queueing delay, accumulated weight — plus the
+//! ascent/descent decomposition, and cross-checks the accumulated weight
+//! against the central router.
+//!
+//! `drt traffic` runs the steady-state traffic engine (crate `traffic`):
+//! seeded workloads (`uniform`, `gravity`, `hotspot`, `worst`) injected
+//! every round into finite per-port queues, swept across offered rates
+//! (`--rate 0.5,1,2,4`) to locate the saturation knee — the largest rate
+//! meeting the SLO (bounded p99 queueing delay, negligible loss). The run
+//! is seed-deterministic at any `--threads` count; `--report` writes one
+//! `traffic_summary` plus one `edge_load` record per rate.
 //!
 //! `drt build` and `drt bench` accept `--threads <t>` (or `DRT_THREADS`;
 //! default: all available cores) to run the engine-backed phases on a worker
@@ -37,8 +51,9 @@
 //! spans for `build`, a `packet_trace` record for `trace`. `drt report`
 //! reads such a file back, validates every record it knows
 //! (`packet_trace`, `edge_load`, `vertex_load`, `stretch_histogram`,
-//! `metrics`, `scaling_check`), and prints per-type counts plus the run's
-//! total wall-clock time.
+//! `metrics`, `scaling_check`, `traffic_summary` — the latter re-checked
+//! against the packet-conservation identity), and prints per-type counts
+//! plus the run's total wall-clock time.
 //!
 //! `drt bench` runs the standardized benchmark suite (fixed seeds; see
 //! [`bench::suite`]) and writes a `BENCH_<label>.json` trajectory point:
@@ -54,7 +69,7 @@ use std::process::ExitCode;
 
 use graphs::{generators, io, properties, shortest_paths, Graph, VertexId};
 use obs::json::Value;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use routing::oracle::DistanceOracle;
 use routing::{build_observed, packet, persist, router, BuildParams};
@@ -69,12 +84,13 @@ fn main() -> ExitCode {
         Some("query") => cmd_route(&args[1..], true),
         Some("trace") => cmd_trace(&args[1..], &opts),
         Some("stretch") => cmd_stretch(&args[1..]),
+        Some("traffic") => cmd_traffic(&args[1..], &opts),
         Some("report") => cmd_report(&args[1..]),
         Some("bench") => cmd_bench(&args[1..], &opts),
         Some("compare") => cmd_compare(&args[1..]),
         _ => {
             eprintln!(
-                "usage: drt <generate|info|build|route|query|trace|stretch|report|bench|compare> ... (see crate docs)"
+                "usage: drt <generate|info|build|route|query|trace|stretch|traffic|report|bench|compare> ... (see crate docs)"
             );
             return ExitCode::FAILURE;
         }
@@ -204,8 +220,28 @@ fn load_scheme(path: &str) -> Result<routing::RoutingScheme, String> {
 }
 
 fn cmd_route(args: &[String], oracle_only: bool) -> Result<(), String> {
-    let [graph_path, scheme_path, src, dst] = args else {
-        return Err("route|query <graph-file> <scheme-file> <src> <dst>".into());
+    let mut positional = Vec::new();
+    let mut load: Option<usize> = None;
+    let mut seed: u64 = 42;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--load" => {
+                let v = it.next().ok_or("--load needs a packet count")?;
+                load = Some(v.parse().map_err(|_| format!("bad packet count '{v}'"))?);
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                seed = v.parse().map_err(|_| format!("bad seed '{v}'"))?;
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+    let [graph_path, scheme_path, src, dst] = positional.as_slice() else {
+        return Err(
+            "route|query <graph-file> <scheme-file> <src> <dst> [--load <packets>] [--seed <s>]"
+                .into(),
+        );
     };
     let g = load_graph(graph_path)?;
     let scheme = load_scheme(scheme_path)?;
@@ -217,24 +253,73 @@ fn cmd_route(args: &[String], oracle_only: bool) -> Result<(), String> {
         println!("oracle estimate {s} -> {t}: {est} (exact {exact})");
         return Ok(());
     }
-    let trace = router::route(&g, &scheme, s, t).map_err(|e| e.to_string())?;
-    println!(
-        "routed {s} -> {t}: weight {} over {} hops via tree of {} (exact {}, stretch {:.3})",
-        trace.weight,
-        trace.hops(),
-        trace.tree_root,
-        exact,
-        trace.weight as f64 / exact.max(1) as f64
-    );
-    println!(
-        "path: {}",
-        trace
-            .path
-            .iter()
-            .map(ToString::to_string)
-            .collect::<Vec<_>>()
-            .join(" -> ")
-    );
+    // Walk the rule centrally for the path, then push the same packet
+    // through the store-and-forward engine so the user sees its delivery
+    // status — delivered, dropped mid-route, and undeliverable are three
+    // different failures with three different remedies.
+    let central = router::route(&g, &scheme, s, t);
+    let net = congest::Network::new(g);
+    let report = packet::send_many(&net, &scheme, &[(s, t)]);
+    match report.outcomes[0] {
+        packet::DeliveryStatus::Delivered { round, .. } => {
+            let trace = central.map_err(|e| e.to_string())?;
+            println!(
+                "routed {s} -> {t}: weight {} over {} hops via tree of {} (exact {}, stretch {:.3})",
+                trace.weight,
+                trace.hops(),
+                trace.tree_root,
+                exact,
+                trace.weight as f64 / exact.max(1) as f64
+            );
+            println!(
+                "path: {}",
+                trace
+                    .path
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join(" -> ")
+            );
+            println!("status: delivered at engine round {round}");
+        }
+        packet::DeliveryStatus::Undeliverable => {
+            println!("status: undeliverable — {s} and {t} share no routing tree; never injected");
+            return Err(format!("{s} -> {t}: undeliverable"));
+        }
+        packet::DeliveryStatus::Dropped => {
+            println!(
+                "status: dropped mid-route — stuck forwarding rule or missing port \
+                 (scheme/graph mismatch?)"
+            );
+            return Err(format!("{s} -> {t}: dropped mid-route"));
+        }
+    }
+    if let Some(p) = load {
+        let n = net.graph().num_vertices() as u32;
+        if n < 2 {
+            return Err("--load needs a graph with at least 2 vertices".into());
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let pairs: Vec<(VertexId, VertexId)> = (0..p)
+            .map(|_| {
+                let a = rng.gen_range(0..n);
+                let mut b = rng.gen_range(0..n);
+                while b == a {
+                    b = rng.gen_range(0..n);
+                }
+                (VertexId(a), VertexId(b))
+            })
+            .collect();
+        let batch = packet::send_many(&net, &scheme, &pairs);
+        println!(
+            "load {p} (seed {seed}): {} delivered, {} dropped mid-route, {} undeliverable \
+             over {} rounds",
+            batch.delivered_count(),
+            batch.dropped,
+            batch.undeliverable,
+            batch.stats.rounds
+        );
+    }
     Ok(())
 }
 
@@ -366,6 +451,9 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
             }
             "metrics" => check(obs::metrics::MetricSet::from_value(record).map(|_| ()))?,
             "scaling_check" => check(obs::scaling::ScalingCheck::from_value(record).map(|_| ()))?,
+            "traffic_summary" => {
+                check(obs::traffic::TrafficSummary::from_value(record).map(|_| ()))?
+            }
             _ => {}
         }
         match counts.iter_mut().find(|(t, _)| *t == ty) {
@@ -531,5 +619,169 @@ fn cmd_stretch(args: &[String]) -> Result<(), String> {
         stats.mean, stats.p50, stats.p95, stats.p99, stats.max
     );
     println!("  mean hops {:.1}", stats.mean_hops);
+    Ok(())
+}
+
+fn cmd_traffic(args: &[String], opts: &obs::cli::ReportOptions) -> Result<(), String> {
+    let usage = "traffic <graph-file> <scheme-file> [--workload <uniform|gravity|hotspot|worst>] \
+                 [--rate <r[,r...]>] [--rounds <n>] [--queue-cap <c>] \
+                 [--policy <tail-drop|oldest-drop>] [--arrival <fixed|bernoulli>] [--seed <s>] \
+                 [--report <path>] [--threads <t>]";
+    let mut positional = Vec::new();
+    let mut workload = traffic::WorkloadKind::Uniform;
+    let mut rates: Vec<f64> = vec![0.5, 1.0, 2.0, 4.0];
+    let mut config = traffic::ScenarioConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workload" => {
+                let v = it.next().ok_or("--workload needs a value")?;
+                workload = traffic::WorkloadKind::parse(v).ok_or_else(|| {
+                    format!("unknown workload '{v}' (uniform|gravity|hotspot|worst)")
+                })?;
+            }
+            "--rate" => {
+                let v = it.next().ok_or("--rate needs a value")?;
+                rates = v
+                    .split(',')
+                    .map(|tok| {
+                        tok.trim()
+                            .parse::<f64>()
+                            .map_err(|_| format!("bad rate '{tok}'"))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "--rounds" => {
+                let v = it.next().ok_or("--rounds needs a value")?;
+                config.inject_rounds = v.parse().map_err(|_| format!("bad round count '{v}'"))?;
+            }
+            "--queue-cap" => {
+                let v = it.next().ok_or("--queue-cap needs a value")?;
+                config.queue_cap = v.parse().map_err(|_| format!("bad queue capacity '{v}'"))?;
+            }
+            "--policy" => {
+                let v = it.next().ok_or("--policy needs a value")?;
+                config.policy = traffic::DropPolicy::parse(v)
+                    .ok_or_else(|| format!("unknown drop policy '{v}' (tail-drop|oldest-drop)"))?;
+            }
+            "--arrival" => {
+                let v = it.next().ok_or("--arrival needs a value")?;
+                config.arrival = traffic::ArrivalKind::parse(v)
+                    .ok_or_else(|| format!("unknown arrival process '{v}' (fixed|bernoulli)"))?;
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                config.seed = v.parse().map_err(|_| format!("bad seed '{v}'"))?;
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+    if rates.is_empty() {
+        return Err("--rate needs at least one rate".into());
+    }
+    let [graph_path, scheme_path] = positional.as_slice() else {
+        return Err(usage.into());
+    };
+    let g = load_graph(graph_path)?;
+    let scheme = load_scheme(scheme_path)?;
+    config.threads = opts.resolved_threads();
+    let net = congest::Network::new(g);
+    let scenario = traffic::TrafficScenario {
+        network: &net,
+        scheme: &scheme,
+        workload,
+        config,
+    };
+    let slo = traffic::Slo::default();
+    let cfg = &scenario.config;
+    println!(
+        "steady-state {} traffic on {graph_path} (n = {}): {} arrivals over {} rounds, \
+         queue cap {} ({}), seed {}, {} engine thread{}",
+        workload.name(),
+        net.graph().num_vertices(),
+        cfg.arrival.name(),
+        cfg.inject_rounds,
+        cfg.queue_cap,
+        cfg.policy.name(),
+        cfg.seed,
+        cfg.threads,
+        if cfg.threads == 1 { "" } else { "s" }
+    );
+    println!(
+        "SLO: p99 queue delay <= {} rounds, loss <= {:.1}%",
+        slo.max_p99_queue_delay,
+        slo.max_drop_fraction * 100.0
+    );
+    let report = scenario.sweep(&rates, &slo);
+    println!(
+        "{:>8} {:>9} {:>9} {:>8} {:>7} {:>10} {:>11} {:>8} {:>5}",
+        "rate",
+        "injected",
+        "delivered",
+        "dropped",
+        "undlv",
+        "p99 delay",
+        "peak queue",
+        "drained",
+        "SLO"
+    );
+    for point in &report.points {
+        let s = &point.summary;
+        println!(
+            "{:>8.2} {:>9} {:>9} {:>8} {:>7} {:>10} {:>11} {:>8} {:>5}",
+            s.rate,
+            s.injected,
+            s.delivered,
+            s.dropped(),
+            s.undeliverable,
+            s.queue_delay.p99,
+            s.peak_queue_packets,
+            if s.drained { "yes" } else { "no" },
+            if point.sustainable(&slo) {
+                "ok"
+            } else {
+                "MISS"
+            }
+        );
+    }
+    match report.knee {
+        Some(knee) => {
+            println!("saturation knee: {knee} packets/round (largest swept rate meeting the SLO)");
+        }
+        None => println!("saturation knee: none — no swept rate met the SLO"),
+    }
+    if let Some(path) = &opts.report {
+        let mut rec = obs::Recorder::when(true);
+        let span = rec.begin("drt/traffic");
+        for point in &report.points {
+            rec.charge(&obs::Counters {
+                rounds: point.stats.rounds,
+                messages: point.stats.messages,
+                words: point.stats.words,
+                broadcasts: 0,
+            });
+        }
+        rec.end(span);
+        for (i, point) in report.points.iter().enumerate() {
+            rec.add_record(point.summary.to_value(&[("sweep_index", Value::from(i))]));
+            rec.add_record(
+                point
+                    .edge_load
+                    .to_value(&[("rate", Value::from(point.summary.rate))]),
+            );
+        }
+        rec.write_report(
+            path,
+            "drt-traffic",
+            &[
+                ("graph", Value::from(graph_path.as_str())),
+                ("workload", Value::from(workload.name())),
+                ("rates", Value::from(rates.len())),
+                ("knee", report.knee.map_or(Value::Null, Value::from)),
+            ],
+        )
+        .map_err(|e| format!("writing report {}: {e}", path.display()))?;
+        println!("report written to {}", path.display());
+    }
     Ok(())
 }
