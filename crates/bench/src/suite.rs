@@ -387,6 +387,75 @@ impl GroupSpeedup {
     }
 }
 
+/// Parallel-efficiency figures for one suite group, measured by one extra
+/// profiled parallel run of the group's largest case (the profiler is never
+/// on during the timed repeats, so the wall columns stay comparable).
+/// Real-time derived, so always advisory in [`compare`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct GroupEfficiency {
+    /// The suite group.
+    pub group: String,
+    /// Worker threads the profiled run used.
+    pub threads: u64,
+    /// Mean worker busy-fraction over the engine wall (1.0 = every worker
+    /// busy the whole run).
+    pub utilization: f64,
+    /// Max/mean worker busy time (1.0 = perfectly balanced).
+    pub imbalance: f64,
+}
+
+impl GroupEfficiency {
+    fn to_value(&self) -> Value {
+        Value::object(vec![
+            ("group", Value::from(self.group.as_str())),
+            ("threads", Value::from(self.threads)),
+            ("utilization", Value::from(self.utilization)),
+            ("imbalance", Value::from(self.imbalance)),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Result<GroupEfficiency, String> {
+        let float = |key: &str| {
+            v.get(key)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("efficiency entry missing numeric field '{key}'"))
+        };
+        Ok(GroupEfficiency {
+            group: v
+                .get("group")
+                .and_then(Value::as_str)
+                .ok_or("efficiency entry missing 'group'")?
+                .to_string(),
+            threads: v
+                .get("threads")
+                .and_then(Value::as_u64)
+                .ok_or("efficiency entry missing 'threads'")?,
+            utilization: float("utilization")?,
+            imbalance: float("imbalance")?,
+        })
+    }
+
+    /// Extract the group figures from an engine profile.
+    fn from_profile(
+        group: &str,
+        threads: u64,
+        profile: &obs::profile::EngineProfile,
+    ) -> GroupEfficiency {
+        let s = profile.summary();
+        let utilization = if s.worker_stats.is_empty() {
+            0.0
+        } else {
+            s.worker_stats.iter().map(|w| w.utilization).sum::<f64>() / s.worker_stats.len() as f64
+        };
+        GroupEfficiency {
+            group: group.to_string(),
+            threads,
+            utilization,
+            imbalance: s.imbalance,
+        }
+    }
+}
+
 /// A complete benchmark trajectory point: one suite run.
 #[derive(Clone, Debug, PartialEq)]
 pub struct BenchDoc {
@@ -404,6 +473,10 @@ pub struct BenchDoc {
     /// Per-group serial-vs-parallel wall speedups (empty when the suite ran
     /// with a single worker thread).
     pub speedup: Vec<GroupSpeedup>,
+    /// Worker utilization and imbalance for the engine-driven groups, from
+    /// one profiled parallel run each (empty when the suite ran with a
+    /// single worker thread).
+    pub efficiency: Vec<GroupEfficiency>,
 }
 
 impl BenchDoc {
@@ -435,6 +508,15 @@ impl BenchDoc {
             (
                 "speedup",
                 Value::Array(self.speedup.iter().map(GroupSpeedup::to_value).collect()),
+            ),
+            (
+                "efficiency",
+                Value::Array(
+                    self.efficiency
+                        .iter()
+                        .map(GroupEfficiency::to_value)
+                        .collect(),
+                ),
             ),
         ])
     }
@@ -477,6 +559,13 @@ impl BenchDoc {
             .map(|entries| entries.iter().map(GroupSpeedup::from_value).collect())
             .transpose()?
             .unwrap_or_default();
+        // Absent in documents written before the engine profiler.
+        let efficiency = v
+            .get("efficiency")
+            .and_then(Value::as_array)
+            .map(|entries| entries.iter().map(GroupEfficiency::from_value).collect())
+            .transpose()?
+            .unwrap_or_default();
         Ok(BenchDoc {
             label: text("label")?,
             tier: text("tier")?,
@@ -484,6 +573,7 @@ impl BenchDoc {
             cases,
             checks,
             speedup,
+            efficiency,
         })
     }
 
@@ -586,6 +676,11 @@ pub fn run_suite(
             });
         }
     }
+    let efficiency = if threads > 1 {
+        efficiency_probes(tier, threads)
+    } else {
+        Vec::new()
+    };
     let mut env = EnvStamp::current();
     env.threads = threads as u64;
     Ok(BenchDoc {
@@ -595,7 +690,55 @@ pub fn run_suite(
         cases,
         checks,
         speedup,
+        efficiency,
     })
+}
+
+/// One profiled parallel run per engine-driven group (`route_batch` and
+/// `traffic_steady`), at the group's largest sweep point, to stamp worker
+/// utilization and imbalance into the document. The build groups simulate
+/// their rounds through the cost ledger rather than the engine round loop,
+/// so they have no worker phases to attribute. Runs after the timed repeats,
+/// so the profiler never touches a gated wall sample.
+fn efficiency_probes(tier: Tier, threads: usize) -> Vec<GroupEfficiency> {
+    let t = threads as u64;
+    let mut out = Vec::new();
+
+    let load = *tier.batch_loads().last().unwrap();
+    let mut rng = Sweep::rng(BATCH_SEED, 0);
+    let g = Family::ErdosRenyi.generate(BATCH_N, &mut rng);
+    let built = routing::build(&g, &BuildParams::new(BATCH_K), &mut rng);
+    let net = Network::new(g);
+    let pairs = batch_pairs(load);
+    let report = packet::send_many_profiled(&net, &built.scheme, &pairs, threads);
+    if let Some(p) = report.stats.profile.as_deref() {
+        out.push(GroupEfficiency::from_profile("route_batch", t, p));
+    }
+
+    let rate = *tier.traffic_rates().last().unwrap();
+    let mut rng = Sweep::rng(TRAFFIC_SEED, 0);
+    let g = Family::ErdosRenyi.generate(TRAFFIC_N, &mut rng);
+    let built = routing::build(&g, &BuildParams::new(BATCH_K), &mut rng);
+    let net = Network::new(g);
+    let scenario = TrafficScenario {
+        network: &net,
+        scheme: &built.scheme,
+        workload: WorkloadKind::Uniform,
+        config: ScenarioConfig {
+            inject_rounds: TRAFFIC_INJECT_ROUNDS,
+            queue_cap: TRAFFIC_QUEUE_CAP,
+            threads,
+            profile: true,
+            seed: TRAFFIC_SEED,
+            ..ScenarioConfig::default()
+        },
+    };
+    let run = scenario.run(rate);
+    if let Some(p) = run.stats.profile.as_deref() {
+        out.push(GroupEfficiency::from_profile("traffic_steady", t, p));
+    }
+
+    out
 }
 
 /// Raw wall-clock samples for one suite group, split by engine.
@@ -748,6 +891,23 @@ fn scheme_case(
     })
 }
 
+/// The `route_batch` group's deterministic source/destination pairs for a
+/// given offered load.
+fn batch_pairs(load: usize) -> Vec<(VertexId, VertexId)> {
+    use rand::Rng as _;
+    let mut rng = Sweep::rng(BATCH_SEED, load as u64);
+    (0..load)
+        .map(|_| {
+            let a = rng.gen_range(0..BATCH_N as u32);
+            let mut b = rng.gen_range(0..BATCH_N as u32);
+            while b == a {
+                b = rng.gen_range(0..BATCH_N as u32);
+            }
+            (VertexId(a), VertexId(b))
+        })
+        .collect()
+}
+
 fn batch_cases(
     loads: &[usize],
     repeats: usize,
@@ -765,18 +925,7 @@ fn batch_cases(
     for &load in loads {
         let id = format!("route_batch/er/p{load}");
         let (sim, wall) = repeated(&id, repeats, threads, walls, |threads| {
-            use rand::Rng as _;
-            let mut rng = Sweep::rng(BATCH_SEED, load as u64);
-            let pairs: Vec<(VertexId, VertexId)> = (0..load)
-                .map(|_| {
-                    let a = rng.gen_range(0..BATCH_N as u32);
-                    let mut b = rng.gen_range(0..BATCH_N as u32);
-                    while b == a {
-                        b = rng.gen_range(0..BATCH_N as u32);
-                    }
-                    (VertexId(a), VertexId(b))
-                })
-                .collect();
+            let pairs = batch_pairs(load);
             let report = packet::send_many_with(&net, &built.scheme, &pairs, threads);
             let delivered = report.deliveries().flatten().count();
             let sim = vec![
@@ -1168,6 +1317,23 @@ pub fn compare(old: &BenchDoc, new: &BenchDoc, cfg: &CompareConfig) -> Compariso
             s.parallel_p50_ns as f64 / 1e6,
         ));
     }
+    // Likewise the profiled efficiency figures: real-time derived, so they
+    // only ever surface as advisories.
+    for e in &new.efficiency {
+        let prior = old
+            .efficiency
+            .iter()
+            .find(|o| o.group == e.group)
+            .map(|o| format!(" (was {:.0}% / {:.2}x)", o.utilization * 100.0, o.imbalance))
+            .unwrap_or_default();
+        cmp.advisories.push(format!(
+            "{}: worker utilization {:.0}% at {} threads, imbalance {:.2}x{prior}",
+            e.group,
+            e.utilization * 100.0,
+            e.threads,
+            e.imbalance,
+        ));
+    }
     cmp
 }
 
@@ -1202,6 +1368,7 @@ mod tests {
             ],
             checks: Vec::new(),
             speedup: Vec::new(),
+            efficiency: Vec::new(),
         }
     }
 
@@ -1313,6 +1480,28 @@ mod tests {
     }
 
     #[test]
+    fn efficiency_entries_round_trip_and_stay_advisory() {
+        let mut doc = tiny_doc(1);
+        doc.env.threads = 4;
+        doc.efficiency.push(GroupEfficiency {
+            group: "route_batch".to_string(),
+            threads: 4,
+            utilization: 0.62,
+            imbalance: 1.31,
+        });
+        let text = doc.to_value().to_string();
+        let back = BenchDoc::from_value(&obs::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, doc);
+        // Efficiency never gates: it only adds an advisory line.
+        let cmp = compare(&tiny_doc(1), &doc, &CompareConfig::default());
+        assert!(cmp.passed());
+        assert!(cmp
+            .advisories
+            .iter()
+            .any(|a| a.contains("worker utilization 62% at 4 threads, imbalance 1.31x")));
+    }
+
+    #[test]
     fn docs_without_speedup_or_threads_still_parse() {
         // Simulate a document written before the parallel engine existed:
         // no env.threads, no speedup array.
@@ -1351,6 +1540,20 @@ mod tests {
             ]
         );
         assert!(parallel.speedup.iter().all(|s| s.threads == 2));
+        // One profiled efficiency entry per engine-driven group, with sane
+        // figures (the build groups never enter the engine round loop).
+        assert!(serial.efficiency.is_empty());
+        let eff_groups: Vec<&str> = parallel
+            .efficiency
+            .iter()
+            .map(|e| e.group.as_str())
+            .collect();
+        assert_eq!(eff_groups, ["route_batch", "traffic_steady"]);
+        for e in &parallel.efficiency {
+            assert_eq!(e.threads, 2);
+            assert!(e.utilization > 0.0 && e.utilization <= 1.0, "{e:?}");
+            assert!(e.imbalance >= 1.0, "{e:?}");
+        }
         // The simulated columns are thread-count independent, so the two
         // documents diff cleanly under the exact gate.
         let cmp = compare(&serial, &parallel, &CompareConfig::default());

@@ -29,7 +29,10 @@ impl Sweep {
     /// name the report is written under.
     pub fn from_env(name: &'static str) -> Sweep {
         let (opts, rest) = obs::cli::ReportOptions::from_env();
-        let rec = obs::Recorder::when(opts.reporting());
+        let mut rec = obs::Recorder::when(opts.reporting());
+        if opts.profile {
+            rec.enable_profiling();
+        }
         Sweep {
             opts,
             rec,

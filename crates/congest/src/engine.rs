@@ -38,6 +38,8 @@ use std::sync::mpsc;
 
 use graphs::graph::Arc;
 use graphs::VertexId;
+use obs::metrics::Stopwatch;
+use obs::profile::{EngineProfile, Phase};
 
 use crate::memory::{MemoryMeter, MeterChunk};
 use crate::message::WordSized;
@@ -172,6 +174,12 @@ pub struct EngineConfig {
     /// the serial path; `0` resolves to the machine's available parallelism.
     /// Simulated results are identical for every value — see the module docs.
     pub threads: usize,
+    /// Profile the round loop: per-round, per-worker phase timings
+    /// ([`obs::profile::EngineProfile`]) returned in
+    /// [`RunStats::profile`]. Profiling also turns on when the recorder
+    /// passed to [`Engine::run_traced`] has profiling enabled; either way
+    /// it never changes simulated results, only adds clock reads.
+    pub profile: bool,
 }
 
 impl Default for EngineConfig {
@@ -181,6 +189,7 @@ impl Default for EngineConfig {
             edge_words_per_round: 4,
             strict_congestion: false,
             threads: 1,
+            profile: false,
         }
     }
 }
@@ -216,12 +225,16 @@ pub struct RunStats {
     /// Wall-clock nanoseconds the run took (monotonic; real time, not a
     /// simulated cost — the simulated currencies are the fields above).
     pub wall_ns: u64,
+    /// Per-phase, per-worker wall-time attribution, present when
+    /// [`EngineConfig::profile`] was set. Like `wall_ns`, real time —
+    /// never part of the simulated-equality contract.
+    pub profile: Option<Box<EngineProfile>>,
 }
 
 impl RunStats {
     /// Whether two runs agree on every *simulated* measurement — everything
-    /// except [`RunStats::wall_ns`]. This is the equality the parallel
-    /// engine guarantees against the serial one.
+    /// except [`RunStats::wall_ns`] and [`RunStats::profile`]. This is the
+    /// equality the parallel engine guarantees against the serial one.
     pub fn same_simulation(&self, other: &RunStats) -> bool {
         self.rounds == other.rounds
             && self.messages == other.messages
@@ -262,6 +275,71 @@ struct Task<M> {
     per_edge: Vec<(VertexId, usize)>,
     stats: ChunkStats,
     sample_queued: bool,
+    /// The worker's phase timings for this phase, when profiling.
+    prof: Option<TaskProf>,
+}
+
+/// A worker's raw clock marks for one phase, recorded on the worker and
+/// folded into the coordinator's [`Prof`] at collection time so workers
+/// never share the profile itself.
+#[derive(Clone, Copy, Debug, Default)]
+struct TaskProf {
+    /// Start of the channel wait preceding this phase (epoch-relative ns).
+    idle_start: u64,
+    /// Length of that wait.
+    idle_ns: u64,
+    /// Start of the chunk execution.
+    compute_start: u64,
+    /// Length of the chunk execution.
+    compute_ns: u64,
+}
+
+/// Coordinator-side profiling state: the accumulating [`EngineProfile`],
+/// the shared epoch stopwatch, and a running mark so successive
+/// [`Prof::lap`] calls tile the coordinator's track without gaps.
+struct Prof {
+    prof: EngineProfile,
+    epoch: Stopwatch,
+    mark: u64,
+}
+
+impl Prof {
+    fn new(epoch: Stopwatch) -> Prof {
+        let mark = epoch.elapsed_ns();
+        Prof {
+            prof: EngineProfile::new(1),
+            epoch,
+            mark,
+        }
+    }
+
+    /// Close the interval since the previous lap as `phase` on `worker`'s
+    /// track and start the next one.
+    fn lap(&mut self, round: u64, worker: u32, phase: Phase) {
+        let now = self.epoch.elapsed_ns();
+        self.prof.record(
+            round,
+            worker,
+            phase,
+            self.mark,
+            now.saturating_sub(self.mark),
+        );
+        self.mark = now;
+    }
+
+    /// Fold a worker's raw marks for round `round` into the profile
+    /// (independent samples; the coordinator's own mark is untouched).
+    fn absorb_task(&mut self, round: u64, worker: u32, tp: &TaskProf) {
+        self.prof
+            .record(round, worker, Phase::Idle, tp.idle_start, tp.idle_ns);
+        self.prof.record(
+            round,
+            worker,
+            Phase::Compute,
+            tp.compute_start,
+            tp.compute_ns,
+        );
+    }
 }
 
 /// The synchronous engine.
@@ -336,14 +414,27 @@ impl Engine {
     ) -> (Vec<P>, RunStats) {
         let n = network.len();
         assert_eq!(protocols.len(), n, "one protocol instance per vertex");
-        let wall = obs::metrics::Stopwatch::start();
+        let wall = Stopwatch::start();
+        // Profiling epoch: the recorder's start when it is accumulating a
+        // profile (one timeline across runs), else this run's own start.
+        // `None` keeps both drivers free of clock reads.
+        let profiling = self.config.profile || recorder.profiling();
+        let epoch = profiling.then(|| recorder.profile_epoch().unwrap_or(wall));
         let threads = self.config.resolved_threads().clamp(1, n.max(1));
         let mut stats = if threads <= 1 {
-            self.drive_serial(network, &mut protocols, recorder)
+            self.drive_serial(network, &mut protocols, recorder, epoch)
         } else {
-            self.drive_parallel(network, &mut protocols, recorder, threads)
+            self.drive_parallel(network, &mut protocols, recorder, threads, epoch)
         };
         stats.wall_ns = wall.elapsed_ns();
+        if let Some(p) = stats.profile.as_deref_mut() {
+            p.record_run(stats.wall_ns);
+            recorder.absorb_profile(p);
+        }
+        if !self.config.profile {
+            // Profiling was recorder-driven; the recorder keeps the copy.
+            stats.profile = None;
+        }
         (protocols, stats)
     }
 
@@ -354,10 +445,12 @@ impl Engine {
         network: &Network,
         protocols: &mut [P],
         recorder: &mut obs::Recorder,
+        epoch: Option<Stopwatch>,
     ) -> RunStats {
         let n = protocols.len();
         let cap = self.config.edge_words_per_round;
         let sample = recorder.is_enabled();
+        let mut prof = epoch.map(Prof::new);
         let mut stats = RunStats::default();
         let mut memory = MemoryMeter::new(n);
         let mut arena = ChunkArena::new(0, n);
@@ -368,6 +461,9 @@ impl Engine {
                 .chunks_mut(n.max(1))
                 .pop()
                 .expect("one chunk covers all vertices");
+            if let Some(p) = prof.as_mut() {
+                p.lap(0, 0, Phase::Setup);
+            }
 
             // Init phase (round 0 sends).
             let mut cs = execute_chunk(
@@ -382,11 +478,17 @@ impl Engine {
                 cap,
                 sample,
             );
+            if let Some(p) = prof.as_mut() {
+                p.lap(0, 0, Phase::Compute);
+            }
             fill_arenas(
                 &mut [&mut arena],
                 std::slice::from_mut(&mut outbox),
                 n.max(1),
             );
+            if let Some(p) = prof.as_mut() {
+                p.lap(0, 0, Phase::Scatter);
+            }
             absorb(&mut stats, &cs);
             self.enforce_congestion(cs.first_violation);
             if sample && stats.messages > 0 {
@@ -398,6 +500,9 @@ impl Engine {
                     congestion_violations: stats.congestion_violations,
                     queued_words: cs.queued_words,
                 });
+            }
+            if let Some(p) = prof.as_mut() {
+                p.lap(0, 0, Phase::Merge);
             }
 
             let mut sent_last_round = stats.messages > 0;
@@ -437,11 +542,17 @@ impl Engine {
                     cap,
                     sample,
                 );
+                if let Some(p) = prof.as_mut() {
+                    p.lap(stats.rounds, 0, Phase::Compute);
+                }
                 fill_arenas(
                     &mut [&mut arena],
                     std::slice::from_mut(&mut outbox),
                     n.max(1),
                 );
+                if let Some(p) = prof.as_mut() {
+                    p.lap(stats.rounds, 0, Phase::Scatter);
+                }
                 absorb(&mut stats, &cs);
                 self.enforce_congestion(cs.first_violation);
                 if sample {
@@ -454,12 +565,16 @@ impl Engine {
                         queued_words: cs.queued_words,
                     });
                 }
+                if let Some(p) = prof.as_mut() {
+                    p.lap(stats.rounds, 0, Phase::Merge);
+                }
                 sent_last_round = stats.messages > messages_before;
                 all_done = cs.chunk_done;
                 keep_alive = cs.keep_alive;
             }
         }
         stats.memory = memory;
+        stats.profile = prof.map(|p| Box::new(p.prof));
         stats
     }
 
@@ -472,11 +587,13 @@ impl Engine {
         protocols: &mut [P],
         recorder: &mut obs::Recorder,
         threads: usize,
+        epoch: Option<Stopwatch>,
     ) -> RunStats {
         let n = protocols.len();
         let chunk = n.div_ceil(threads);
         let cap = self.config.edge_words_per_round;
         let sample = recorder.is_enabled();
+        let mut prof = epoch.map(Prof::new);
         let mut stats = RunStats::default();
         let mut memory = MemoryMeter::new(n);
 
@@ -491,6 +608,7 @@ impl Engine {
                 per_edge: Vec::new(),
                 stats: ChunkStats::default(),
                 sample_queued: sample,
+                prof: None,
             }));
             lo += len;
         }
@@ -514,8 +632,21 @@ impl Engine {
                 let done = done_tx.clone();
                 scope.spawn(move || {
                     // Persistent worker: one phase per received task; exits
-                    // when the coordinator drops its sender.
+                    // when the coordinator drops its sender. When profiling,
+                    // the worker stamps raw clock marks into the task (the
+                    // recv wait is the worker's idle time) and the
+                    // coordinator folds them into the profile at collection.
+                    let mut idle_from = epoch.map_or(0, |e| e.elapsed_ns());
                     while let Ok(mut task) = task_rx.recv() {
+                        if let Some(e) = epoch {
+                            let now = e.elapsed_ns();
+                            task.prof = Some(TaskProf {
+                                idle_start: idle_from,
+                                idle_ns: now.saturating_sub(idle_from),
+                                compute_start: now,
+                                compute_ns: 0,
+                            });
+                        }
                         task.stats = execute_chunk(
                             protos,
                             lo,
@@ -528,22 +659,42 @@ impl Engine {
                             cap,
                             task.sample_queued,
                         );
+                        if let Some(e) = epoch {
+                            if let Some(tp) = task.prof.as_mut() {
+                                tp.compute_ns = e.elapsed_ns().saturating_sub(tp.compute_start);
+                            }
+                        }
                         if done.send((w, task)).is_err() {
                             break;
+                        }
+                        if let Some(e) = epoch {
+                            idle_from = e.elapsed_ns();
                         }
                     }
                 });
             }
             drop(done_tx);
 
+            if let Some(p) = prof.as_mut() {
+                p.lap(0, 0, Phase::Setup);
+            }
+
             // Fan a phase out to every worker, run chunk 0 inline, then park
             // the returned tasks back in worker-index order for the merge.
-            let mut exec_phase = |round: Option<u64>, tasks: &mut [Option<Task<P::Msg>>]| {
+            // `prof` is threaded as an argument (not captured) so the
+            // coordinator can also lap it between phases.
+            let mut exec_phase = |round: Option<u64>,
+                                  tasks: &mut [Option<Task<P::Msg>>],
+                                  prof: &mut Option<Prof>| {
+                let r = round.unwrap_or(0);
                 for (i, tx) in to_workers.iter().enumerate() {
                     let mut task = tasks[i + 1].take().expect("task parked");
                     task.round = round;
                     task.sample_queued = sample;
                     tx.send(task).expect("worker alive");
+                }
+                if let Some(p) = prof.as_mut() {
+                    p.lap(r, 0, Phase::Dispatch);
                 }
                 let mut t0 = tasks[0].take().expect("task parked");
                 t0.round = round;
@@ -560,15 +711,28 @@ impl Engine {
                     sample,
                 );
                 tasks[0] = Some(t0);
+                if let Some(p) = prof.as_mut() {
+                    p.lap(r, 0, Phase::Compute);
+                }
                 for _ in 0..to_workers.len() {
                     let (w, task) = done_rx.recv().expect("worker alive");
+                    if let Some(p) = prof.as_mut() {
+                        if let Some(tp) = &task.prof {
+                            p.absorb_task(r, w as u32, tp);
+                        }
+                    }
                     tasks[w] = Some(task);
+                }
+                // Time since chunk 0 finished is the coordinator's barrier
+                // wait on the slowest worker.
+                if let Some(p) = prof.as_mut() {
+                    p.lap(r, 0, Phase::Idle);
                 }
             };
 
             // Init phase (round 0 sends).
-            exec_phase(None, &mut tasks);
-            let cs = merge_round(&mut tasks, chunk);
+            exec_phase(None, &mut tasks, &mut prof);
+            let cs = merge_round(&mut tasks, chunk, 0, &mut prof);
             absorb(&mut stats, &cs);
             self.enforce_congestion(cs.first_violation);
             if sample && stats.messages > 0 {
@@ -580,6 +744,9 @@ impl Engine {
                     congestion_violations: stats.congestion_violations,
                     queued_words: cs.queued_words,
                 });
+            }
+            if let Some(p) = prof.as_mut() {
+                p.lap(0, 0, Phase::Merge);
             }
 
             let mut sent_last_round = stats.messages > 0;
@@ -607,8 +774,8 @@ impl Engine {
                 let messages_before = stats.messages;
                 let words_before = stats.words;
                 let violations_before = stats.congestion_violations;
-                exec_phase(Some(stats.rounds), &mut tasks);
-                let cs = merge_round(&mut tasks, chunk);
+                exec_phase(Some(stats.rounds), &mut tasks, &mut prof);
+                let cs = merge_round(&mut tasks, chunk, stats.rounds, &mut prof);
                 absorb(&mut stats, &cs);
                 self.enforce_congestion(cs.first_violation);
                 if sample {
@@ -621,6 +788,9 @@ impl Engine {
                         queued_words: cs.queued_words,
                     });
                 }
+                if let Some(p) = prof.as_mut() {
+                    p.lap(stats.rounds, 0, Phase::Merge);
+                }
                 sent_last_round = stats.messages > messages_before;
                 all_done = cs.chunk_done;
                 keep_alive = cs.keep_alive;
@@ -630,6 +800,7 @@ impl Engine {
         });
         drop(meter_chunks);
         stats.memory = memory;
+        stats.profile = prof.map(|p| Box::new(p.prof));
         stats
     }
 
@@ -656,8 +827,14 @@ fn absorb(stats: &mut RunStats, cs: &ChunkStats) {
 }
 
 /// Drain every outbox into the delivery arenas (stable, worker order) and
-/// fold the per-chunk stats in worker order.
-fn merge_round<M>(tasks: &mut [Option<Task<M>>], chunk: usize) -> ChunkStats {
+/// fold the per-chunk stats in worker order. When profiling, the scatter is
+/// lapped on the coordinator's track for round `round`.
+fn merge_round<M>(
+    tasks: &mut [Option<Task<M>>],
+    chunk: usize,
+    round: u64,
+    prof: &mut Option<Prof>,
+) -> ChunkStats {
     let mut outboxes: Vec<Outbox<M>> = tasks
         .iter_mut()
         .map(|t| std::mem::take(&mut t.as_mut().expect("task parked").outbox))
@@ -671,6 +848,9 @@ fn merge_round<M>(tasks: &mut [Option<Task<M>>], chunk: usize) -> ChunkStats {
     }
     for (t, outbox) in tasks.iter_mut().zip(outboxes) {
         t.as_mut().expect("task parked").outbox = outbox;
+    }
+    if let Some(p) = prof.as_mut() {
+        p.lap(round, 0, Phase::Scatter);
     }
     let mut merged = ChunkStats {
         chunk_done: true,
@@ -1129,6 +1309,85 @@ mod tests {
             assert_eq!(a.congestion_violations, b.congestion_violations);
             assert_eq!(a.queued_words, b.queued_words);
         }
+    }
+
+    #[test]
+    fn profiled_serial_run_tiles_the_wall() {
+        let net = path_network(8);
+        let engine = Engine::with_config(EngineConfig {
+            profile: true,
+            ..EngineConfig::default()
+        });
+        let (_, stats) = engine.run(&net, flood(8));
+        let (_, plain) = Engine::new().run(&net, flood(8));
+        assert!(
+            stats.same_simulation(&plain),
+            "profiling must not change the simulation"
+        );
+        let p = stats.profile.as_deref().expect("profile requested");
+        assert_eq!(p.runs, 1);
+        assert_eq!(p.workers, 1);
+        assert_eq!(p.rounds, stats.rounds);
+        let coord: u64 = p.coord_ns.iter().sum();
+        assert!(coord > 0);
+        // The coordinator's phases tile the run: their sum cannot exceed
+        // the measured wall and must cover the bulk of it.
+        assert!(
+            coord <= p.engine_wall_ns,
+            "coord {coord} > wall {}",
+            p.engine_wall_ns
+        );
+        let s = p.summary();
+        assert!(s.coverage > 0.5, "coverage {}", s.coverage);
+        assert!(plain.profile.is_none(), "no profile unless requested");
+    }
+
+    #[test]
+    fn profiled_parallel_run_tracks_every_worker() {
+        let net = path_network(12);
+        let engine = Engine::with_config(EngineConfig {
+            profile: true,
+            threads: 3,
+            ..EngineConfig::default()
+        });
+        let (_, stats) = engine.run(&net, flood(12));
+        let (_, serial) = Engine::new().run(&net, flood(12));
+        assert!(stats.same_simulation(&serial));
+        let p = stats.profile.as_deref().expect("profile requested");
+        assert_eq!(p.workers, 3, "coordinator + 2 pool workers");
+        // Every worker track saw compute and idle; the coordinator also
+        // dispatched, scattered, and merged.
+        for phase in [
+            Phase::Setup,
+            Phase::Dispatch,
+            Phase::Compute,
+            Phase::Scatter,
+            Phase::Merge,
+            Phase::Idle,
+        ] {
+            assert!(p.counts[phase.index()] > 0, "no {} samples", phase.name());
+        }
+        let busy_workers = p.busy_ns.len();
+        assert_eq!(busy_workers, 3);
+        let s = p.summary();
+        assert!(s.imbalance >= 1.0);
+    }
+
+    #[test]
+    fn recorder_driven_profiling_accumulates_on_the_recorder() {
+        let net = path_network(6);
+        let mut rec = obs::Recorder::new();
+        rec.enable_profiling();
+        let (_, stats) = Engine::new().run_traced(&net, flood(6), &mut rec);
+        // Config didn't ask for the profile, so the stats don't carry it...
+        assert!(stats.profile.is_none());
+        // ...but the recorder accumulated it.
+        let p = rec.profile().expect("recorder accumulates the profile");
+        assert_eq!(p.runs, 1);
+        assert!(p.engine_wall_ns > 0);
+        // A second run folds in.
+        let (_, _) = Engine::new().run_traced(&net, flood(6), &mut rec);
+        assert_eq!(rec.profile().unwrap().runs, 2);
     }
 
     #[test]

@@ -678,7 +678,7 @@ pub fn send_many(
     scheme: &RoutingScheme,
     pairs: &[(VertexId, VertexId)],
 ) -> LoadReport {
-    send_many_inner(network, scheme, pairs, false, 1).report
+    send_many_inner(network, scheme, pairs, false, 1, false).report
 }
 
 /// [`send_many`] on an engine with `threads` workers (`0` = available
@@ -694,7 +694,23 @@ pub fn send_many_with(
     pairs: &[(VertexId, VertexId)],
     threads: usize,
 ) -> LoadReport {
-    send_many_inner(network, scheme, pairs, false, threads).report
+    send_many_inner(network, scheme, pairs, false, threads, false).report
+}
+
+/// [`send_many_with`], with the engine profiler on: the returned report's
+/// `stats.profile` carries the per-worker phase attribution. Outcomes and
+/// simulated stats are identical to the unprofiled run.
+///
+/// # Panics
+///
+/// Panics if the scheme was built in prior-baseline mode.
+pub fn send_many_profiled(
+    network: &Network,
+    scheme: &RoutingScheme,
+    pairs: &[(VertexId, VertexId)],
+    threads: usize,
+) -> LoadReport {
+    send_many_inner(network, scheme, pairs, false, threads, true).report
 }
 
 /// Like [`send_many`], but flight-recorded: per-packet hop traces plus
@@ -709,7 +725,7 @@ pub fn send_many_traced(
     scheme: &RoutingScheme,
     pairs: &[(VertexId, VertexId)],
 ) -> LoadFlight {
-    send_many_inner(network, scheme, pairs, true, 1)
+    send_many_inner(network, scheme, pairs, true, 1, false)
 }
 
 /// [`send_many_traced`] on an engine with `threads` workers (`0` = available
@@ -725,7 +741,7 @@ pub fn send_many_traced_with(
     pairs: &[(VertexId, VertexId)],
     threads: usize,
 ) -> LoadFlight {
-    send_many_inner(network, scheme, pairs, true, threads)
+    send_many_inner(network, scheme, pairs, true, threads, false)
 }
 
 fn send_many_inner(
@@ -734,6 +750,7 @@ fn send_many_inner(
     pairs: &[(VertexId, VertexId)],
     traced: bool,
     threads: usize,
+    profile: bool,
 ) -> LoadFlight {
     // Source decisions, as in `send`.
     let mut inject: Vec<Vec<LoadedPacket>> = vec![Vec::new(); network.len()];
@@ -805,6 +822,7 @@ fn send_many_inner(
     let engine = Engine::with_config(EngineConfig {
         edge_words_per_round,
         threads,
+        profile,
         ..EngineConfig::default()
     });
     let (protos, stats) = engine.run(network, protos);

@@ -8,7 +8,10 @@
 //! * `--threads <t>` or `--threads=<t>` — engine worker threads (`0`, the
 //!   default, means all available cores; the `DRT_THREADS` environment
 //!   variable is the fallback). Thread count never changes simulated
-//!   results — the engine is deterministic — only wall-clock time.
+//!   results — the engine is deterministic — only wall-clock time;
+//! * `--profile` — profile the engine round loop (per-worker phase
+//!   attribution; the `DRT_PROFILE` environment variable, set non-empty,
+//!   is the fallback). Profiling never changes simulated results either.
 //!
 //! [`ReportOptions::parse`] strips these from an argument list and hands the
 //! remaining arguments back, so binaries keep their existing positional
@@ -26,6 +29,9 @@ pub struct ReportOptions {
     /// Engine worker threads; `0` (the default) resolves to the machine's
     /// available parallelism.
     pub threads: usize,
+    /// Whether `--profile` (or `DRT_PROFILE`) asked for engine round-loop
+    /// profiling.
+    pub profile: bool,
 }
 
 impl ReportOptions {
@@ -44,6 +50,8 @@ impl ReportOptions {
                 opts.report = Some(PathBuf::from(path));
             } else if arg == "--json" {
                 opts.json = true;
+            } else if arg == "--profile" {
+                opts.profile = true;
             } else if arg == "--threads" {
                 threads_flag = args.next();
             } else if let Some(t) = arg.strip_prefix("--threads=") {
@@ -68,6 +76,11 @@ impl ReportOptions {
         }
         if let Some(t) = threads_flag {
             opts.threads = t.parse().unwrap_or(0);
+        }
+        if !opts.profile {
+            if let Ok(p) = std::env::var("DRT_PROFILE") {
+                opts.profile = !p.is_empty();
+            }
         }
         (opts, rest)
     }
@@ -141,6 +154,17 @@ mod tests {
         let (opts, _) = ReportOptions::parse(strings(&[]));
         assert_eq!(opts.threads, 0);
         assert!(opts.resolved_threads() >= 1);
+    }
+
+    #[test]
+    fn parses_profile_flag() {
+        // NB: assumes DRT_PROFILE is unset in the test environment.
+        let (opts, rest) = ReportOptions::parse(strings(&["--profile", "bench"]));
+        assert!(opts.profile);
+        assert_eq!(rest, strings(&["bench"]));
+
+        let (opts, _) = ReportOptions::parse(strings(&[]));
+        assert!(!opts.profile);
     }
 
     #[test]

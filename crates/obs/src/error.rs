@@ -1,0 +1,151 @@
+//! Typed errors for JSONL report parsing.
+//!
+//! Every `from_value` parser in this crate returns a [`ParseError`]
+//! instead of a bare `String`, so a corrupt report line fails with the
+//! record index, record type, and offending field attached — enough
+//! context to find the bad line with `sed -n '42p' report.jsonl`.
+
+use std::fmt;
+
+/// A structured parse failure: what went wrong, and where.
+///
+/// The location fields are optional because they accrete as the error
+/// bubbles up: a field parser knows the field name, the record parser
+/// adds the record type, and the report reader adds the record index.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Zero-based index of the record in the report, when known.
+    pub record: Option<usize>,
+    /// The record `type` tag (e.g. `"traffic_summary"`), when known.
+    pub record_type: Option<String>,
+    /// The field that failed to parse, when the failure is field-local.
+    pub field: Option<String>,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl ParseError {
+    /// An error with a bare message and no location yet.
+    pub fn new(message: impl Into<String>) -> ParseError {
+        ParseError {
+            record: None,
+            record_type: None,
+            field: None,
+            message: message.into(),
+        }
+    }
+
+    /// A required field is absent (or the wrong JSON type).
+    pub fn missing(field: &str) -> ParseError {
+        ParseError {
+            field: Some(field.to_string()),
+            ..ParseError::new("missing or mistyped field")
+        }
+    }
+
+    /// A field is present but its value is invalid.
+    pub fn bad(field: &str, why: impl Into<String>) -> ParseError {
+        ParseError {
+            field: Some(field.to_string()),
+            ..ParseError::new(why)
+        }
+    }
+
+    /// The value is not a record of the expected type at all.
+    pub fn not_record(expected: &str) -> ParseError {
+        ParseError {
+            record_type: Some(expected.to_string()),
+            ..ParseError::new(format!("value is not a '{expected}' record"))
+        }
+    }
+
+    /// Attach the record's index in the report.
+    pub fn in_record(mut self, index: usize) -> ParseError {
+        self.record = Some(index);
+        self
+    }
+
+    /// Attach the record's `type` tag (keeps an earlier tag if set).
+    pub fn for_type(mut self, record_type: &str) -> ParseError {
+        if self.record_type.is_none() {
+            self.record_type = Some(record_type.to_string());
+        }
+        self
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(i) = self.record {
+            write!(f, "record {i}")?;
+            if let Some(t) = &self.record_type {
+                write!(f, " ({t})")?;
+            }
+            write!(f, ": ")?;
+        } else if let Some(t) = &self.record_type {
+            write!(f, "{t}: ")?;
+        }
+        if let Some(field) = &self.field {
+            write!(f, "field '{field}': ")?;
+        }
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<String> for ParseError {
+    fn from(message: String) -> ParseError {
+        ParseError::new(message)
+    }
+}
+
+impl From<&str> for ParseError {
+    fn from(message: &str) -> ParseError {
+        ParseError::new(message)
+    }
+}
+
+/// Callers that aggregate many error kinds into a `Result<_, String>`
+/// (the `drt` CLI, `bench::suite`) keep working via `?`.
+impl From<ParseError> for String {
+    fn from(e: ParseError) -> String {
+        e.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_accretes_location() {
+        let e = ParseError::missing("rate");
+        assert_eq!(e.to_string(), "field 'rate': missing or mistyped field");
+        let e = e.for_type("traffic_summary");
+        assert_eq!(
+            e.to_string(),
+            "traffic_summary: field 'rate': missing or mistyped field"
+        );
+        let e = e.in_record(3);
+        assert_eq!(
+            e.to_string(),
+            "record 3 (traffic_summary): field 'rate': missing or mistyped field"
+        );
+    }
+
+    #[test]
+    fn for_type_keeps_the_innermost_tag() {
+        let e = ParseError::not_record("histogram").for_type("outer");
+        assert_eq!(e.record_type.as_deref(), Some("histogram"));
+    }
+
+    #[test]
+    fn string_round_trip() {
+        let e = ParseError::bad("ts", "negative timestamp");
+        let s: String = e.clone().into();
+        assert_eq!(s, e.to_string());
+        let back = ParseError::from(s.clone());
+        assert_eq!(back.message, s);
+    }
+}

@@ -25,6 +25,7 @@
 
 use std::collections::HashMap;
 
+use crate::error::ParseError;
 use crate::json::Value;
 
 /// The kind of forwarding decision behind one hop.
@@ -99,17 +100,19 @@ impl HopRecord {
         ])
     }
 
-    fn from_value(v: &Value) -> Result<HopRecord, String> {
+    fn from_value(v: &Value) -> Result<HopRecord, ParseError> {
         let field = |key: &str| {
             v.get(key)
                 .and_then(Value::as_u64)
-                .ok_or_else(|| format!("hop record missing numeric field '{key}'"))
+                .ok_or_else(|| ParseError::missing(key).for_type("packet_trace"))
         };
         let kind = v
             .get("kind")
             .and_then(Value::as_str)
             .and_then(HopKind::from_name)
-            .ok_or_else(|| "hop record missing or invalid 'kind'".to_string())?;
+            .ok_or_else(|| {
+                ParseError::bad("kind", "missing or invalid hop kind").for_type("packet_trace")
+            })?;
         Ok(HopRecord {
             round: field("round")?,
             vertex: field("vertex")? as u32,
@@ -221,20 +224,20 @@ impl PacketTrace {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first missing or ill-typed field.
-    pub fn from_value(v: &Value) -> Result<PacketTrace, String> {
+    /// Returns a [`ParseError`] naming the first missing or ill-typed field.
+    pub fn from_value(v: &Value) -> Result<PacketTrace, ParseError> {
         if v.get("type").and_then(Value::as_str) != Some("packet_trace") {
-            return Err("not a packet_trace record".to_string());
+            return Err(ParseError::not_record("packet_trace"));
         }
         let field = |key: &str| {
             v.get(key)
                 .and_then(Value::as_u64)
-                .ok_or_else(|| format!("packet_trace missing numeric field '{key}'"))
+                .ok_or_else(|| ParseError::missing(key).for_type("packet_trace"))
         };
         let hops = v
             .get("path")
             .and_then(Value::as_array)
-            .ok_or_else(|| "packet_trace missing 'path' array".to_string())?
+            .ok_or_else(|| ParseError::missing("path").for_type("packet_trace"))?
             .iter()
             .map(HopRecord::from_value)
             .collect::<Result<Vec<_>, _>>()?;
@@ -296,11 +299,11 @@ impl LoadStats {
         ])
     }
 
-    pub(crate) fn from_value(v: &Value) -> Result<LoadStats, String> {
+    pub(crate) fn from_value(v: &Value) -> Result<LoadStats, ParseError> {
         let field = |key: &str| {
             v.get(key)
                 .and_then(Value::as_u64)
-                .ok_or_else(|| format!("load stats missing numeric field '{key}'"))
+                .ok_or_else(|| ParseError::bad(key, "load stats missing numeric field"))
         };
         Ok(LoadStats {
             min: field("min")?,
@@ -311,7 +314,7 @@ impl LoadStats {
             mean: v
                 .get("mean")
                 .and_then(Value::as_f64)
-                .ok_or_else(|| "load stats missing 'mean'".to_string())?,
+                .ok_or_else(|| ParseError::bad("mean", "load stats missing numeric field"))?,
         })
     }
 }
@@ -442,22 +445,23 @@ impl EdgeLoadMap {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first missing or ill-typed field, or a
-    /// mismatch between the heatmap entries and the recorded totals.
-    pub fn from_value(v: &Value) -> Result<EdgeLoadMap, String> {
+    /// Returns a [`ParseError`] naming the first missing or ill-typed
+    /// field, or a mismatch between the heatmap entries and the recorded
+    /// totals.
+    pub fn from_value(v: &Value) -> Result<EdgeLoadMap, ParseError> {
         if v.get("type").and_then(Value::as_str) != Some("edge_load") {
-            return Err("not an edge_load record".to_string());
+            return Err(ParseError::not_record("edge_load"));
         }
         let mut map = EdgeLoadMap::new();
         let entries = v
             .get("heatmap")
             .and_then(Value::as_array)
-            .ok_or_else(|| "edge_load missing 'heatmap' array".to_string())?;
+            .ok_or_else(|| ParseError::missing("heatmap").for_type("edge_load"))?;
         for e in entries {
             let field = |key: &str| {
-                e.get(key)
-                    .and_then(Value::as_u64)
-                    .ok_or_else(|| format!("edge_load entry missing '{key}'"))
+                e.get(key).and_then(Value::as_u64).ok_or_else(|| {
+                    ParseError::bad(key, "heatmap entry missing field").for_type("edge_load")
+                })
             };
             let key = (field("u")? as u32, field("v")? as u32);
             let load = map.loads.entry(key).or_default();
@@ -467,12 +471,16 @@ impl EdgeLoadMap {
         let total = v
             .get("total_words")
             .and_then(Value::as_u64)
-            .ok_or_else(|| "edge_load missing 'total_words'".to_string())?;
+            .ok_or_else(|| ParseError::missing("total_words").for_type("edge_load"))?;
         if total != map.total_words() {
-            return Err(format!(
-                "edge_load total_words {total} != heatmap sum {}",
-                map.total_words()
-            ));
+            return Err(ParseError::bad(
+                "total_words",
+                format!(
+                    "edge_load total_words {total} != heatmap sum {}",
+                    map.total_words()
+                ),
+            )
+            .for_type("edge_load"));
         }
         Ok(map)
     }
@@ -561,22 +569,23 @@ impl VertexLoadMap {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first missing or ill-typed field, or a
-    /// mismatch between the heatmap entries and the recorded totals.
-    pub fn from_value(v: &Value) -> Result<VertexLoadMap, String> {
+    /// Returns a [`ParseError`] naming the first missing or ill-typed
+    /// field, or a mismatch between the heatmap entries and the recorded
+    /// totals.
+    pub fn from_value(v: &Value) -> Result<VertexLoadMap, ParseError> {
         if v.get("type").and_then(Value::as_str) != Some("vertex_load") {
-            return Err("not a vertex_load record".to_string());
+            return Err(ParseError::not_record("vertex_load"));
         }
         let mut map = VertexLoadMap::new();
         let entries = v
             .get("heatmap")
             .and_then(Value::as_array)
-            .ok_or_else(|| "vertex_load missing 'heatmap' array".to_string())?;
+            .ok_or_else(|| ParseError::missing("heatmap").for_type("vertex_load"))?;
         for e in entries {
             let field = |key: &str| {
-                e.get(key)
-                    .and_then(Value::as_u64)
-                    .ok_or_else(|| format!("vertex_load entry missing '{key}'"))
+                e.get(key).and_then(Value::as_u64).ok_or_else(|| {
+                    ParseError::bad(key, "heatmap entry missing field").for_type("vertex_load")
+                })
             };
             let load = map.loads.entry(field("v")? as u32).or_default();
             load.packets += field("packets")?;
@@ -585,12 +594,16 @@ impl VertexLoadMap {
         let total = v
             .get("total_words")
             .and_then(Value::as_u64)
-            .ok_or_else(|| "vertex_load missing 'total_words'".to_string())?;
+            .ok_or_else(|| ParseError::missing("total_words").for_type("vertex_load"))?;
         if total != map.total_words() {
-            return Err(format!(
-                "vertex_load total_words {total} != heatmap sum {}",
-                map.total_words()
-            ));
+            return Err(ParseError::bad(
+                "total_words",
+                format!(
+                    "vertex_load total_words {total} != heatmap sum {}",
+                    map.total_words()
+                ),
+            )
+            .for_type("vertex_load"));
         }
         Ok(map)
     }
@@ -696,46 +709,55 @@ impl Histogram {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first missing or ill-typed field, or a
-    /// total that disagrees with the bucket counts.
-    pub fn from_value(v: &Value) -> Result<Histogram, String> {
+    /// Returns a [`ParseError`] naming the first missing or ill-typed
+    /// field, or a total that disagrees with the bucket counts.
+    pub fn from_value(v: &Value) -> Result<Histogram, ParseError> {
         if v.get("type").and_then(Value::as_str) != Some("stretch_histogram") {
-            return Err("not a stretch_histogram record".to_string());
+            return Err(ParseError::not_record("stretch_histogram"));
         }
         let buckets = v
             .get("buckets")
             .and_then(Value::as_array)
-            .ok_or_else(|| "stretch_histogram missing 'buckets' array".to_string())?;
+            .ok_or_else(|| ParseError::missing("buckets").for_type("stretch_histogram"))?;
         if buckets.is_empty() {
-            return Err("stretch_histogram has no buckets".to_string());
+            return Err(ParseError::bad("buckets", "histogram has no buckets")
+                .for_type("stretch_histogram"));
         }
         let edge = |b: &Value, key: &str| {
-            b.get(key)
-                .and_then(Value::as_f64)
-                .ok_or_else(|| format!("histogram bucket missing '{key}'"))
+            b.get(key).and_then(Value::as_f64).ok_or_else(|| {
+                ParseError::bad(key, "histogram bucket missing field").for_type("stretch_histogram")
+            })
         };
         let lo = edge(&buckets[0], "lo")?;
         let width = edge(&buckets[0], "hi")? - lo;
         if width <= 0.0 {
-            return Err("histogram bucket width must be positive".to_string());
+            return Err(
+                ParseError::bad("hi", "histogram bucket width must be positive")
+                    .for_type("stretch_histogram"),
+            );
         }
         let counts = buckets
             .iter()
             .map(|b| {
-                b.get("count")
-                    .and_then(Value::as_u64)
-                    .ok_or_else(|| "histogram bucket missing 'count'".to_string())
+                b.get("count").and_then(Value::as_u64).ok_or_else(|| {
+                    ParseError::bad("count", "histogram bucket missing field")
+                        .for_type("stretch_histogram")
+                })
             })
-            .collect::<Result<Vec<u64>, String>>()?;
+            .collect::<Result<Vec<u64>, ParseError>>()?;
         let total = v
             .get("total")
             .and_then(Value::as_u64)
-            .ok_or_else(|| "stretch_histogram missing 'total'".to_string())?;
+            .ok_or_else(|| ParseError::missing("total").for_type("stretch_histogram"))?;
         if total != counts.iter().sum::<u64>() {
-            return Err(format!(
-                "stretch_histogram total {total} != bucket sum {}",
-                counts.iter().sum::<u64>()
-            ));
+            return Err(ParseError::bad(
+                "total",
+                format!(
+                    "stretch_histogram total {total} != bucket sum {}",
+                    counts.iter().sum::<u64>()
+                ),
+            )
+            .for_type("stretch_histogram"));
         }
         let max = v
             .get("max")

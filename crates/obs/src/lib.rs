@@ -29,7 +29,12 @@
 //!   records;
 //! * [`scaling`] fits log-log growth exponents and checks them against
 //!   paper-predicted ranges, turning "the shape matches the theorem" into an
-//!   executable assertion.
+//!   executable assertion;
+//! * [`profile`] attributes engine wall time to round-loop phases per
+//!   worker (dispatch, compute, scatter, merge, idle), exported as an
+//!   `engine_profile` record and a Chrome trace-event file;
+//! * [`error::ParseError`] gives every report parser typed failures
+//!   carrying the record index and field name.
 //!
 //! A disabled recorder ([`Recorder::disabled`]) makes every operation an
 //! early-returning no-op, so instrumented code paths cost nothing when
@@ -39,11 +44,15 @@ use std::io::{self, Write as _};
 use std::path::Path;
 
 pub mod cli;
+pub mod error;
 pub mod flight;
 pub mod json;
 pub mod metrics;
+pub mod profile;
 pub mod scaling;
 pub mod traffic;
+
+pub use error::ParseError;
 
 use json::Value;
 
@@ -193,6 +202,7 @@ pub struct Recorder {
     run_memory: Option<MemoryDist>,
     records: Vec<Value>,
     started: Option<metrics::Stopwatch>,
+    profile: Option<profile::EngineProfile>,
 }
 
 impl Recorder {
@@ -335,6 +345,45 @@ impl Recorder {
         &self.records
     }
 
+    /// Ask engine runs traced through this recorder to profile their
+    /// round loop (see [`profile::EngineProfile`]). No-op when the
+    /// recorder is disabled, so profiling inherits the no-cost-when-off
+    /// guarantee.
+    pub fn enable_profiling(&mut self) {
+        if self.enabled && self.profile.is_none() {
+            self.profile = Some(profile::EngineProfile::new(0));
+        }
+    }
+
+    /// Whether engine runs should profile their round loop.
+    pub fn profiling(&self) -> bool {
+        self.profile.is_some()
+    }
+
+    /// The shared timeline origin for profile samples: the recorder's
+    /// own start stopwatch, so samples from successive engine runs land
+    /// on one timeline. `None` unless profiling is enabled.
+    pub fn profile_epoch(&self) -> Option<metrics::Stopwatch> {
+        if self.profile.is_some() {
+            self.started
+        } else {
+            None
+        }
+    }
+
+    /// Fold one engine run's profile into the recorder's accumulator.
+    pub fn absorb_profile(&mut self, run: &profile::EngineProfile) {
+        if let Some(p) = self.profile.as_mut() {
+            p.absorb(run);
+        }
+    }
+
+    /// The accumulated engine profile, when profiling is enabled and at
+    /// least one run was absorbed.
+    pub fn profile(&self) -> Option<&profile::EngineProfile> {
+        self.profile.as_ref().filter(|p| p.runs > 0)
+    }
+
     /// Cumulative counters charged so far.
     pub fn totals(&self) -> Counters {
         self.totals
@@ -418,6 +467,9 @@ impl Recorder {
         for record in &self.records {
             writeln!(out, "{record}")?;
         }
+        if let Some(p) = self.profile() {
+            writeln!(out, "{}", p.summary().to_value())?;
+        }
         let peak = self
             .run_memory
             .map(|m| m.max)
@@ -456,14 +508,18 @@ impl Recorder {
 ///
 /// # Errors
 ///
-/// Returns a description of the first I/O or parse failure.
-pub fn read_report(path: impl AsRef<Path>) -> Result<Vec<Value>, String> {
+/// Returns a [`ParseError`] carrying the zero-based record index of the
+/// first I/O or parse failure.
+pub fn read_report(path: impl AsRef<Path>) -> Result<Vec<Value>, ParseError> {
     let text = std::fs::read_to_string(path.as_ref())
-        .map_err(|e| format!("reading {}: {e}", path.as_ref().display()))?;
+        .map_err(|e| ParseError::new(format!("reading {}: {e}", path.as_ref().display())))?;
     text.lines()
         .filter(|l| !l.trim().is_empty())
         .enumerate()
-        .map(|(i, line)| json::parse(line).map_err(|e| format!("line {}: {e}", i + 1)))
+        .map(|(i, line)| {
+            json::parse(line)
+                .map_err(|e| ParseError::new(format!("invalid JSON: {e}")).in_record(i))
+        })
         .collect()
 }
 

@@ -17,6 +17,7 @@
 //! p50/p95 the bench suite records, and regression gates keep wall-clock
 //! advisory while gating exactly on the simulated columns.
 
+use crate::error::ParseError;
 use crate::json::Value;
 
 /// A monotonic wall-clock timer.
@@ -170,36 +171,36 @@ impl MetricSet {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first missing or ill-typed field.
-    pub fn from_value(v: &Value) -> Result<MetricSet, String> {
+    /// Returns a [`ParseError`] naming the first missing or ill-typed field.
+    pub fn from_value(v: &Value) -> Result<MetricSet, ParseError> {
         if v.get("type").and_then(Value::as_str) != Some("metrics") {
-            return Err("not a metrics record".to_string());
+            return Err(ParseError::not_record("metrics"));
         }
         let name = v
             .get("name")
             .and_then(Value::as_str)
-            .ok_or("metrics record missing 'name'")?
+            .ok_or_else(|| ParseError::missing("name").for_type("metrics"))?
             .to_string();
         let counters = v
             .get("counters")
             .and_then(Value::as_object)
-            .ok_or("metrics record missing 'counters' object")?
+            .ok_or_else(|| ParseError::missing("counters").for_type("metrics"))?
             .iter()
             .map(|(k, val)| {
-                val.as_u64()
-                    .map(|n| (k.clone(), n))
-                    .ok_or_else(|| format!("counter '{k}' is not a non-negative integer"))
+                val.as_u64().map(|n| (k.clone(), n)).ok_or_else(|| {
+                    ParseError::bad(k, "counter is not a non-negative integer").for_type("metrics")
+                })
             })
             .collect::<Result<Vec<_>, _>>()?;
         let gauges = v
             .get("gauges")
             .and_then(Value::as_object)
-            .ok_or("metrics record missing 'gauges' object")?
+            .ok_or_else(|| ParseError::missing("gauges").for_type("metrics"))?
             .iter()
             .map(|(k, val)| {
                 val.as_f64()
                     .map(|n| (k.clone(), n))
-                    .ok_or_else(|| format!("gauge '{k}' is not a number"))
+                    .ok_or_else(|| ParseError::bad(k, "gauge is not a number").for_type("metrics"))
             })
             .collect::<Result<Vec<_>, _>>()?;
         Ok(MetricSet {

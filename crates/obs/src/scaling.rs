@@ -17,6 +17,7 @@
 //! an exponent range like `[0, 0.3]` — clearly separated from the √n
 //! alternative's 0.5.
 
+use crate::error::ParseError;
 use crate::json::Value;
 
 /// A least-squares fit of `ln y = exponent·ln x + intercept_ln`.
@@ -139,20 +140,20 @@ impl ScalingCheck {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first missing or ill-typed field.
-    pub fn from_value(v: &Value) -> Result<ScalingCheck, String> {
+    /// Returns a [`ParseError`] naming the first missing or ill-typed field.
+    pub fn from_value(v: &Value) -> Result<ScalingCheck, ParseError> {
         if v.get("type").and_then(Value::as_str) != Some("scaling_check") {
-            return Err("not a scaling_check record".to_string());
+            return Err(ParseError::not_record("scaling_check"));
         }
         let num = |key: &str| {
             v.get(key)
                 .and_then(Value::as_f64)
-                .ok_or_else(|| format!("scaling_check missing numeric field '{key}'"))
+                .ok_or_else(|| ParseError::missing(key).for_type("scaling_check"))
         };
         let text = |key: &str| {
             v.get(key)
                 .and_then(Value::as_str)
-                .ok_or_else(|| format!("scaling_check missing string field '{key}'"))
+                .ok_or_else(|| ParseError::missing(key).for_type("scaling_check"))
                 .map(str::to_string)
         };
         Ok(ScalingCheck {

@@ -10,6 +10,7 @@
 //! packet-conservation identity (`injected = delivered + dropped +
 //! in_flight`) on parse, so a tampered or truncated report fails loudly.
 
+use crate::error::ParseError;
 use crate::flight::LoadStats;
 use crate::json::Value;
 
@@ -115,32 +116,32 @@ impl TrafficSummary {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first missing or ill-typed field, or a
-    /// violation of the conservation identity.
-    pub fn from_value(v: &Value) -> Result<TrafficSummary, String> {
+    /// Returns a [`ParseError`] naming the first missing or ill-typed
+    /// field, or a violation of the conservation identity.
+    pub fn from_value(v: &Value) -> Result<TrafficSummary, ParseError> {
         if v.get("type").and_then(Value::as_str) != Some("traffic_summary") {
-            return Err("not a traffic_summary record".to_string());
+            return Err(ParseError::not_record("traffic_summary"));
         }
         let int = |key: &str| {
             v.get(key)
                 .and_then(Value::as_u64)
-                .ok_or_else(|| format!("traffic_summary missing numeric field '{key}'"))
+                .ok_or_else(|| ParseError::missing(key).for_type("traffic_summary"))
         };
         let float = |key: &str| {
             v.get(key)
                 .and_then(Value::as_f64)
-                .ok_or_else(|| format!("traffic_summary missing numeric field '{key}'"))
+                .ok_or_else(|| ParseError::missing(key).for_type("traffic_summary"))
         };
         let text = |key: &str| {
             v.get(key)
                 .and_then(Value::as_str)
                 .map(str::to_string)
-                .ok_or_else(|| format!("traffic_summary missing string field '{key}'"))
+                .ok_or_else(|| ParseError::missing(key).for_type("traffic_summary"))
         };
         let dist = |key: &str| {
             v.get(key)
-                .ok_or_else(|| format!("traffic_summary missing '{key}'"))
-                .and_then(LoadStats::from_value)
+                .ok_or_else(|| ParseError::missing(key).for_type("traffic_summary"))
+                .and_then(|d| LoadStats::from_value(d).map_err(|e| e.for_type("traffic_summary")))
         };
         let summary = TrafficSummary {
             workload: text("workload")?,
@@ -160,7 +161,7 @@ impl TrafficSummary {
             drained: v
                 .get("drained")
                 .and_then(Value::as_bool)
-                .ok_or_else(|| "traffic_summary missing 'drained'".to_string())?,
+                .ok_or_else(|| ParseError::missing("drained").for_type("traffic_summary"))?,
             throughput: float("throughput")?,
             latency: dist("latency")?,
             queue_delay: dist("queue_delay")?,
@@ -170,8 +171,8 @@ impl TrafficSummary {
             stretch_max: float("stretch_max")?,
         };
         if !summary.conserved() {
-            return Err(format!(
-                "traffic_summary violates conservation: injected {} != \
+            return Err(ParseError::new(format!(
+                "violates conservation: injected {} != \
                  delivered {} + dropped {} + in_flight {} (offered {}, undeliverable {})",
                 summary.injected,
                 summary.delivered,
@@ -179,7 +180,8 @@ impl TrafficSummary {
                 summary.in_flight,
                 summary.offered,
                 summary.undeliverable,
-            ));
+            ))
+            .for_type("traffic_summary"));
         }
         Ok(summary)
     }
@@ -235,7 +237,7 @@ mod tests {
         assert!(!s.conserved());
         let v = s.to_value(&[]);
         let err = TrafficSummary::from_value(&v).unwrap_err();
-        assert!(err.contains("conservation"), "{err}");
+        assert!(err.to_string().contains("conservation"), "{err}");
     }
 
     #[test]

@@ -43,6 +43,9 @@ pub struct ScenarioConfig {
     pub policy: DropPolicy,
     /// Engine worker threads (`1` = serial).
     pub threads: usize,
+    /// Profile the engine round loop; phase attribution comes back in the
+    /// result's `stats.profile`. Never changes simulated results.
+    pub profile: bool,
     /// Schedule seed.
     pub seed: u64,
 }
@@ -56,6 +59,7 @@ impl Default for ScenarioConfig {
             queue_cap: 8,
             policy: DropPolicy::TailDrop,
             threads: 1,
+            profile: false,
             seed: DEFAULT_SEED,
         }
     }
@@ -246,6 +250,7 @@ impl TrafficScenario<'_> {
                 policy: cfg.policy,
                 max_rounds: cfg.effective_max_rounds(),
                 threads: cfg.threads,
+                profile: cfg.profile,
             },
         );
 

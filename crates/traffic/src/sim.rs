@@ -146,6 +146,9 @@ pub struct SimConfig {
     pub max_rounds: u64,
     /// Engine worker threads (`1` = serial).
     pub threads: usize,
+    /// Profile the engine round loop; the phase attribution comes back in
+    /// [`SimResult`]'s `stats.profile`. Never changes simulated results.
+    pub profile: bool,
 }
 
 /// Everything one engine run produced.
@@ -251,6 +254,7 @@ pub fn simulate(
         edge_words_per_round,
         max_rounds: cfg.max_rounds,
         threads: cfg.threads,
+        profile: cfg.profile,
         ..EngineConfig::default()
     });
     let (protos, stats) = engine.run(network, protos);

@@ -130,6 +130,45 @@ proptest! {
     }
 
     #[test]
+    fn profiler_is_simulation_neutral(g in arb_graph(36), seed in 0..u64::MAX) {
+        // Profiling must never perturb the simulation: same outcomes, same
+        // stats (minus wall/profile), at every thread count — the profiler
+        // only reads clocks, and `same_simulation` ignores real time.
+        let n = g.num_vertices();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let built = build(&g, &BuildParams::new(2), &mut rng);
+        let pairs: Vec<(VertexId, VertexId)> = (0..n)
+            .map(|i| (VertexId(i as u32), VertexId(((i * 5 + 1) % n) as u32)))
+            .collect();
+        let net = congest::Network::new(g);
+        let plain = packet::send_many_with(&net, &built.scheme, &pairs, 1);
+        prop_assert!(plain.stats.profile.is_none());
+        for threads in [1, 2, 8] {
+            let prof = packet::send_many_profiled(&net, &built.scheme, &pairs, threads);
+            prop_assert!(
+                plain.stats.same_simulation(&prof.stats),
+                "profiling changed simulated stats at {threads} threads:\n  off: {:?}\n  on: {:?}",
+                plain.stats,
+                prof.stats
+            );
+            prop_assert_eq!(&plain.outcomes, &prof.outcomes);
+            prop_assert_eq!(plain.undeliverable, prof.undeliverable);
+            prop_assert_eq!(plain.dropped, prof.dropped);
+            // And the profile itself must be present and self-consistent.
+            let p = prof.stats.profile.as_deref().expect("profiled run keeps its profile");
+            let s = p.summary();
+            prop_assert_eq!(s.runs, 1);
+            prop_assert!(s.engine_wall_ns > 0);
+            let coord_sum: u64 = s.phases.iter().map(|ph| ph.coord_ns).sum();
+            prop_assert!(
+                coord_sum <= s.engine_wall_ns,
+                "phase tiling ({coord_sum} ns) exceeds the engine wall ({} ns)",
+                s.engine_wall_ns
+            );
+        }
+    }
+
+    #[test]
     fn tree_build_ledger_is_thread_count_invariant(g in arb_graph(36), seed in 0..u64::MAX) {
         let t = tree::shortest_path_tree(&g, VertexId(0));
         let net = congest::Network::new(g);

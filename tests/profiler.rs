@@ -1,0 +1,191 @@
+//! End-to-end engine-profiler tests: the `engine_profile` record survives a
+//! written JSONL report, the Chrome trace export holds to the trace-event
+//! schema, the coordinator phase tiling covers the engine wall, and the
+//! typed `ParseError`s out of `obs` name the record and field that broke.
+
+use graphs::VertexId;
+use obs::json::Value;
+use obs::profile::{Phase, ProfileSummary};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use routing::{build, packet, BuildParams};
+
+/// A profiled store-and-forward batch on a seeded graph: the canonical
+/// engine-driven workload.
+fn profiled_batch(threads: usize) -> (packet::LoadReport, congest::Network) {
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let g = graphs::generators::erdos_renyi_connected(72, 0.08, 1..=9, &mut rng);
+    let built = build(&g, &BuildParams::new(2), &mut rng);
+    let net = congest::Network::new(g);
+    let n = net.graph().num_vertices() as u32;
+    let pairs: Vec<(VertexId, VertexId)> = (0..128)
+        .map(|_| {
+            let a = rng.gen_range(0..n);
+            let mut b = rng.gen_range(0..n);
+            while b == a {
+                b = rng.gen_range(0..n);
+            }
+            (VertexId(a), VertexId(b))
+        })
+        .collect();
+    let report = packet::send_many_profiled(&net, &built.scheme, &pairs, threads);
+    (report, net)
+}
+
+#[test]
+fn engine_profile_record_round_trips_through_a_written_report() {
+    let (report, _net) = profiled_batch(2);
+    let profile = report.stats.profile.as_deref().expect("profile kept");
+
+    // Accumulate onto a recorder and write the report the way the CLI does.
+    let mut rec = obs::Recorder::new();
+    rec.enable_profiling();
+    rec.absorb_profile(profile);
+    let path = std::env::temp_dir().join(format!("drt-profiler-test-{}.jsonl", std::process::id()));
+    rec.write_report(&path, "profiler-test", &[])
+        .expect("report written");
+    let records = obs::read_report(&path).expect("report parses");
+    std::fs::remove_file(&path).ok();
+
+    // Exactly one engine_profile record, parsing back to the same summary.
+    let profiles: Vec<ProfileSummary> = records
+        .iter()
+        .filter(|r| r.get("type").and_then(Value::as_str) == Some("engine_profile"))
+        .map(|r| ProfileSummary::from_value(r).expect("engine_profile parses"))
+        .collect();
+    assert_eq!(profiles.len(), 1);
+    let parsed = &profiles[0];
+    let direct = profile.summary();
+    assert_eq!(parsed.workers, direct.workers);
+    assert_eq!(parsed.runs, direct.runs);
+    assert_eq!(parsed.rounds, direct.rounds);
+    assert_eq!(parsed.engine_wall_ns, direct.engine_wall_ns);
+    assert_eq!(parsed.phases.len(), direct.phases.len());
+    for (a, b) in parsed.phases.iter().zip(&direct.phases) {
+        assert_eq!(a.phase, b.phase);
+        assert_eq!(a.total_ns, b.total_ns);
+        assert_eq!(a.samples, b.samples);
+    }
+    assert_eq!(parsed.worker_stats.len(), direct.worker_stats.len());
+    assert!((parsed.imbalance - direct.imbalance).abs() < 1e-9);
+    assert!((parsed.coverage - direct.coverage).abs() < 1e-9);
+}
+
+#[test]
+fn phase_tiling_covers_the_engine_wall() {
+    // The acceptance bar: the coordinator phase totals must explain the
+    // engine wall to within 5% (they tile it by construction; the slack is
+    // engine setup before the first lap and worker-pool teardown after the
+    // last). Debug builds on a small workload leave those fixed costs
+    // unamortized, so the gate loosens to 10% there; `drt profile` on a
+    // release build is where the 5% figure is demonstrated.
+    let floor = if cfg!(debug_assertions) { 0.90 } else { 0.95 };
+    for threads in [1, 4] {
+        let (report, _net) = profiled_batch(threads);
+        let s = report.stats.profile.as_deref().unwrap().summary();
+        let coord_sum: u64 = s.phases.iter().map(|p| p.coord_ns).sum();
+        assert!(coord_sum <= s.engine_wall_ns);
+        assert!(
+            s.coverage > floor,
+            "phase tiling covers only {:.1}% of the wall at {threads} threads \
+             (coord {coord_sum} ns, wall {} ns)",
+            s.coverage * 100.0,
+            s.engine_wall_ns
+        );
+        // Busy time never exceeds the wall on any track.
+        for w in &s.worker_stats {
+            assert!(w.busy_ns <= s.engine_wall_ns, "{w:?}");
+        }
+        assert!(s.imbalance >= 1.0);
+    }
+}
+
+#[test]
+fn chrome_trace_export_holds_to_the_trace_event_schema() {
+    let (report, _net) = profiled_batch(3);
+    let profile = report.stats.profile.as_deref().unwrap();
+    let trace = profile.chrome_trace();
+    let v = obs::json::parse(&trace).expect("trace is valid JSON");
+    let events = v.as_array().expect("trace is a JSON array");
+    assert!(!events.is_empty());
+    let mut tracks = std::collections::BTreeSet::new();
+    let mut complete = 0usize;
+    for e in events {
+        let ph = e.get("ph").and_then(Value::as_str).expect("event has ph");
+        assert!(e.get("pid").and_then(Value::as_u64).is_some());
+        let tid = e.get("tid").and_then(Value::as_u64).expect("event has tid");
+        match ph {
+            "M" => {
+                // Thread-name metadata names every track.
+                assert_eq!(e.get("name").and_then(Value::as_str), Some("thread_name"));
+            }
+            "X" => {
+                complete += 1;
+                tracks.insert(tid);
+                let name = e.get("name").and_then(Value::as_str).expect("phase name");
+                assert!(Phase::from_name(name).is_some(), "unknown phase '{name}'");
+                assert!(e.get("ts").and_then(Value::as_f64).is_some());
+                assert!(e.get("dur").and_then(Value::as_f64).is_some());
+                assert!(e.get("args").and_then(|a| a.get("round")).is_some());
+            }
+            other => panic!("unexpected event kind '{other}'"),
+        }
+    }
+    assert!(complete > 0);
+    // One track per worker plus the coordinator at tid 0.
+    assert!(tracks.contains(&0));
+    assert_eq!(tracks.len(), profile.workers.max(1));
+}
+
+#[test]
+fn report_parse_errors_name_the_record_and_field() {
+    // A mistyped field inside a known record type must surface with the
+    // record index, record type, and field name — not an unwrap panic.
+    let path =
+        std::env::temp_dir().join(format!("drt-parse-err-test-{}.jsonl", std::process::id()));
+    std::fs::write(
+        &path,
+        "{\"type\":\"run_summary\",\"name\":\"x\",\"wall_ns\":1}\n{\"type\":\"metrics\",\"name\":\"m\",\"counters\":{\"c\":-4},\"gauges\":{}}\n",
+    )
+    .unwrap();
+    let records = obs::read_report(&path).expect("well-formed JSON lines still parse");
+    std::fs::remove_file(&path).ok();
+    let err = obs::metrics::MetricSet::from_value(&records[1])
+        .map(|_| ())
+        .unwrap_err()
+        .in_record(1);
+    let msg = err.to_string();
+    assert!(msg.contains("record 1"), "{msg}");
+    assert!(msg.contains("metrics"), "{msg}");
+    assert!(msg.contains('c'), "{msg}");
+
+    // Malformed JSON fails at read_report with the line tagged.
+    std::fs::write(&path, "{\"type\":\"span\"}\nnot json\n").unwrap();
+    let err = obs::read_report(&path).unwrap_err();
+    std::fs::remove_file(&path).ok();
+    assert!(err.to_string().contains("record 1"), "{err}");
+    assert!(err.to_string().contains("invalid JSON"), "{err}");
+}
+
+#[test]
+fn profiling_is_off_by_default_everywhere() {
+    // No profile on plain runs, no engine_profile record from a recorder
+    // that never enabled profiling.
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let g = graphs::generators::erdos_renyi_connected(40, 0.1, 1..=9, &mut rng);
+    let built = build(&g, &BuildParams::new(2), &mut rng);
+    let net = congest::Network::new(g);
+    let report = packet::send_many_with(&net, &built.scheme, &[(VertexId(0), VertexId(1))], 2);
+    assert!(report.stats.profile.is_none());
+
+    let mut rec = obs::Recorder::new();
+    assert!(!rec.profiling());
+    rec.charge_rounds(1);
+    let path = std::env::temp_dir().join(format!("drt-noprof-test-{}.jsonl", std::process::id()));
+    rec.write_report(&path, "noprof", &[]).unwrap();
+    let records = obs::read_report(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert!(records
+        .iter()
+        .all(|r| r.get("type").and_then(Value::as_str) != Some("engine_profile")));
+}
