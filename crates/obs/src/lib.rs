@@ -43,6 +43,7 @@
 use std::io::{self, Write as _};
 use std::path::Path;
 
+pub mod audit;
 pub mod cli;
 pub mod error;
 pub mod flight;

@@ -11,6 +11,8 @@
 //! drt query    <graph-file> <scheme-file> <src> <dst>   # oracle distance
 //! drt trace    <graph-file> <scheme-file> <src> <dst>   # flight-recorded send
 //! drt stretch  <graph-file> <scheme-file> [sources]     # stretch statistics
+//! drt audit    <graph-file> <scheme-file> [--sample <pairs>] [--seed <s>]
+//!              [--kill-edges <p>] [--kill-vertices <p>] [--report <path>] [--json]
 //! drt traffic  <graph-file> <scheme-file> [--workload <w>] [--rate <r,...>] ...
 //! drt report   <report-file> [--json]                   # validate a JSONL report
 //! drt bench    [--smoke|--quick|--full] [--label <l>] [--out <path>] [--repeats <r>] [--threads <t>]
@@ -30,6 +32,21 @@
 //! forwarding-decision kind, queueing delay, accumulated weight — plus the
 //! ascent/descent decomposition, and cross-checks the accumulated weight
 //! against the central router.
+//!
+//! `drt audit` runs the scheme observatory (`routing::audit`) over a saved
+//! scheme: per-vertex memory attribution split into named components
+//! (cluster memberships, tree tables, TZ labels, tree labels, pivot sets)
+//! reconciled word-for-word against [`routing::RoutingScheme::resident_words`],
+//! structural invariant audits (the `verify` checks, cover coverage, the
+//! Claim-6 membership bound, DFS-interval nesting, distance-estimate
+//! soundness on sampled sources), and a seeded routing-consistency probe
+//! against exact distances and the central oracle — a full pair sweep at
+//! small `n`, sampled above. `--kill-edges p` / `--kill-vertices p` re-run
+//! the probe with the *stale* tables against a seeded perturbation of the
+//! graph, reporting reachability, stretch inflation, and misroute counts.
+//! The command exits nonzero if the intact audit finds any violation;
+//! `--report` writes the `scheme_audit` record plus one `vertex_load`
+//! heatmap per memory component, and `--json` prints the record.
 //!
 //! `drt traffic` runs the steady-state traffic engine (crate `traffic`):
 //! seeded workloads (`uniform`, `gravity`, `hotspot`, `worst`) injected
@@ -103,6 +120,7 @@ fn main() -> ExitCode {
         Some("query") => cmd_route(&args[1..], true),
         Some("trace") => cmd_trace(&args[1..], &opts),
         Some("stretch") => cmd_stretch(&args[1..]),
+        Some("audit") => cmd_audit(&args[1..], &opts),
         Some("traffic") => cmd_traffic(&args[1..], &opts),
         Some("report") => cmd_report(&args[1..], &opts),
         Some("bench") => cmd_bench(&args[1..], &opts),
@@ -110,7 +128,7 @@ fn main() -> ExitCode {
         Some("profile") => cmd_profile(&args[1..], &opts),
         _ => {
             eprintln!(
-                "usage: drt <generate|info|build|route|query|trace|stretch|traffic|report|bench|compare|profile> ... (see crate docs)"
+                "usage: drt <generate|info|build|route|query|trace|stretch|audit|traffic|report|bench|compare|profile> ... (see crate docs)"
             );
             return ExitCode::FAILURE;
         }
@@ -452,6 +470,216 @@ fn cmd_trace(args: &[String], opts: &obs::cli::ReportOptions) -> Result<(), Stri
     Ok(())
 }
 
+fn cmd_audit(args: &[String], opts: &obs::cli::ReportOptions) -> Result<(), String> {
+    use routing::audit::{self, AuditConfig, Component, PerturbSpec};
+
+    let mut positional = Vec::new();
+    let mut cfg = AuditConfig::default();
+    let mut kill_edges = 0.0f64;
+    let mut kill_vertices = 0.0f64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut prob = |name: &str| -> Result<f64, String> {
+            let v = it.next().ok_or(format!("{name} needs a probability"))?;
+            let p: f64 = v.parse().map_err(|_| format!("bad probability '{v}'"))?;
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{name} must be in [0, 1], got {p}"));
+            }
+            Ok(p)
+        };
+        match arg.as_str() {
+            "--sample" => {
+                let v = it.next().ok_or("--sample needs a pair count")?;
+                let pairs: usize = v.parse().map_err(|_| format!("bad pair count '{v}'"))?;
+                cfg = cfg.with_sample_pairs(pairs.max(1));
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                cfg.seed = v.parse().map_err(|_| format!("bad seed '{v}'"))?;
+            }
+            "--kill-edges" => kill_edges = prob("--kill-edges")?,
+            "--kill-vertices" => kill_vertices = prob("--kill-vertices")?,
+            other => positional.push(other.to_string()),
+        }
+    }
+    let [graph_path, scheme_path] = positional.as_slice() else {
+        return Err(
+            "audit <graph-file> <scheme-file> [--sample <pairs>] [--seed <s>] \
+             [--kill-edges <p>] [--kill-vertices <p>] [--report <path>] [--json]"
+                .into(),
+        );
+    };
+    let g = load_graph(graph_path)?;
+    let scheme = load_scheme(scheme_path)?;
+    if scheme.tables.len() != g.num_vertices() {
+        return Err(format!(
+            "scheme covers {} vertices but the graph has {}",
+            scheme.tables.len(),
+            g.num_vertices()
+        ));
+    }
+
+    let out = audit::audit(&g, &scheme, &cfg);
+    let perturbed = if kill_edges > 0.0 || kill_vertices > 0.0 {
+        let spec = PerturbSpec {
+            kill_edges,
+            kill_vertices,
+            seed: cfg.seed,
+        };
+        Some(audit::probe_perturbed(
+            &g,
+            &scheme,
+            &cfg,
+            &spec,
+            out.probe.mean_stretch,
+        ))
+    } else {
+        None
+    };
+    let record = out.to_record(perturbed.as_ref());
+
+    if let Some(path) = &opts.report {
+        // One scheme_audit record plus a vertex_load heatmap per memory
+        // component, so the same tooling that maps traffic hot spots maps
+        // memory hot spots.
+        let mut rec = obs::Recorder::when(true);
+        rec.add_record(record.to_value());
+        for &c in &Component::ALL {
+            let mut heat = obs::flight::VertexLoadMap::new();
+            for (v, words) in out.attribution.component_words(c).iter().enumerate() {
+                if *words > 0 {
+                    heat.record(v as u32, *words);
+                }
+            }
+            rec.add_record(heat.to_value(&[("component", Value::from(c.name()))]));
+        }
+        rec.write_report(
+            path,
+            "drt-audit",
+            &[
+                ("n", Value::from(g.num_vertices())),
+                ("k", Value::from(scheme.k)),
+                ("graph", Value::from(graph_path.as_str())),
+                ("scheme", Value::from(scheme_path.as_str())),
+            ],
+        )
+        .map_err(|e| format!("writing report {}: {e}", path.display()))?;
+    }
+    if opts.json {
+        println!("{}", record.to_value());
+    } else {
+        print_audit(&record);
+    }
+    if record.violations > 0 {
+        return Err(format!(
+            "audit found {} violation(s) on the intact graph",
+            record.violations
+        ));
+    }
+    Ok(())
+}
+
+fn print_audit(a: &obs::audit::SchemeAudit) {
+    println!(
+        "audit of k = {} scheme on n = {} graph ({} mode):",
+        a.k, a.n, a.mode
+    );
+    println!(
+        "  memory attribution ({}, resident {} words total, max {}/vertex):",
+        if a.attribution_exact {
+            "reconciled exactly"
+        } else {
+            "RECONCILIATION FAILED"
+        },
+        a.resident_total,
+        a.resident_max
+    );
+    for c in &a.components {
+        println!(
+            "    {:<20} total {:>8}  max {:>5}  p50 {:>4}  p95 {:>4}  p99 {:>4}{}",
+            c.name,
+            c.total,
+            c.max,
+            c.p50,
+            c.p95,
+            c.p99,
+            if c.resident { "" } else { "  (non-resident)" }
+        );
+    }
+    println!(
+        "  meter cross-check   : {}",
+        match (a.meter_checked, a.meter_ok) {
+            (false, _) => "skipped (no build-time meter for a loaded scheme)",
+            (true, true) => "ok (metered peaks dominate resident words)",
+            (true, false) => "FAILED (resident words exceed a metered peak)",
+        }
+    );
+    println!("  invariants:");
+    for inv in &a.invariants {
+        println!(
+            "    {:<20} {:>7} checked, {} violation(s)",
+            inv.name, inv.checked, inv.violations
+        );
+    }
+    let p = &a.probe;
+    println!(
+        "  routing probe ({}): {} pairs, {} connected",
+        if p.full_sweep {
+            "full sweep"
+        } else {
+            "sampled"
+        },
+        p.pairs,
+        p.connected
+    );
+    println!(
+        "    delivered {} ({:.1}%), mean stretch {:.3}, max {:.3}",
+        p.delivered,
+        100.0 * p.reachability(),
+        p.mean_stretch,
+        p.max_stretch
+    );
+    println!(
+        "    failures: no_common_tree {}, stuck {}, bad_forward {}, loop {}",
+        p.no_common_tree, p.stuck, p.bad_forward, p.looped
+    );
+    println!(
+        "    bounds: undershoots {}, over_bound {}, oracle undershoots {}, oracle over {}",
+        p.undershoots, p.over_bound, p.oracle_undershoots, p.oracle_over_bound
+    );
+    if let Some(pp) = &a.perturbed {
+        let q = &pp.probe;
+        println!(
+            "  perturbation probe (kill edges p = {}, vertices p = {}):",
+            pp.kill_edges, pp.kill_vertices
+        );
+        println!(
+            "    killed {} edge(s), {} vertex(es); {} of {} still-connected pairs delivered ({:.1}%)",
+            pp.killed_edges,
+            pp.killed_vertices,
+            q.delivered,
+            q.connected,
+            100.0 * q.reachability()
+        );
+        println!(
+            "    stretch: mean {:.3} (inflation {:.2}x), max {:.3}",
+            q.mean_stretch, pp.stretch_inflation, q.max_stretch
+        );
+        println!(
+            "    misroutes: bad_forward {}, stuck {}, loop {}, no_common_tree {}",
+            q.bad_forward, q.stuck, q.looped, q.no_common_tree
+        );
+    }
+    println!(
+        "  verdict: {}",
+        if a.violations == 0 {
+            "ok (0 violations)".to_string()
+        } else {
+            format!("FAILED ({} violation(s))", a.violations)
+        }
+    );
+}
+
 fn cmd_report(args: &[String], opts: &obs::cli::ReportOptions) -> Result<(), String> {
     let [path] = args else {
         return Err("report <report-file> [--json]".into());
@@ -486,6 +714,12 @@ fn cmd_report(args: &[String], opts: &obs::cli::ReportOptions) -> Result<(), Str
             }
             "engine_profile" => {
                 check(obs::profile::ProfileSummary::from_value(record).map(|_| ()))?
+            }
+            "scheme_audit" => {
+                // `from_value` re-checks the probe's outcome-partition
+                // identity, so a record that parses here is internally
+                // consistent.
+                check(obs::audit::SchemeAudit::from_value(record).map(|_| ()))?;
             }
             _ => {}
         }
