@@ -2,7 +2,7 @@
 //! fixed-seed sweeps, a schema'd `BENCH_*.json` trajectory document, an
 //! automated scaling-law checker, and threshold-based regression diffing.
 //!
-//! The suite sweeps four groups:
+//! The suite sweeps five groups:
 //!
 //! * `tree_build` — the Theorem-2 distributed tree-routing construction on
 //!   Erdős–Rényi shortest-path trees, across `n`;
@@ -12,7 +12,10 @@
 //!   engine on a fixed prebuilt scheme, across the number of packets;
 //! * `traffic_steady` — open-loop steady-state traffic (finite queues,
 //!   per-round injection) on a fixed prebuilt scheme, across the offered
-//!   rate — the delivered-throughput determinism gate for `drt traffic`.
+//!   rate — the delivered-throughput determinism gate for `drt traffic`;
+//! * `churn_degrade` — the churn observatory's targeted-removal timeline on
+//!   a fixed scale-free scheme, across the number of churn rounds — the
+//!   determinism gate for `drt churn`'s health telemetry.
 //!
 //! Every case records two kinds of numbers with different trust levels. The
 //! **simulated** columns (rounds, messages, words, peak memory, table/label
@@ -27,6 +30,7 @@
 //! [`obs::scaling::ScalingCheck`] verdicts fitted over each group's sweep —
 //! the executable form of EXPERIMENTS.md's "shape verdict".
 
+use churn::{ChurnConfig, ChurnScenario, ProcessKind};
 use congest::Network;
 use graphs::{tree, VertexId};
 use obs::json::Value;
@@ -59,6 +63,14 @@ const TRAFFIC_N: usize = 160;
 const TRAFFIC_INJECT_ROUNDS: u64 = 96;
 /// Per-port queue capacity for every `traffic_steady` case.
 const TRAFFIC_QUEUE_CAP: usize = 4;
+/// Seed for the `churn_degrade` group's fixed graph, scheme, and schedules.
+const CHURN_SEED: u64 = 0xC4AB;
+/// Graph size for the `churn_degrade` group. Scale-free, because targeted
+/// hub removal collapsing a heavy-tailed graph is the shape the sweep
+/// prices.
+const CHURN_N: usize = 128;
+/// Per-round targeted failure rate for every `churn_degrade` case.
+const CHURN_RATE: f64 = 0.02;
 
 /// Suite size tiers. `Quick` cases are a strict subset of `Full` cases with
 /// identical ids, seeds, and therefore identical simulated columns, so a
@@ -135,6 +147,15 @@ impl Tier {
             Tier::Smoke => &[0.5, 2.0],
             Tier::Quick => &[0.5, 1.0, 2.0],
             Tier::Full => &[0.5, 1.0, 2.0, 4.0, 8.0],
+        }
+    }
+
+    /// Churn-round horizons for the `churn_degrade` sweep.
+    fn churn_rounds(self) -> &'static [u64] {
+        match self {
+            Tier::Smoke => &[2, 4],
+            Tier::Quick => &[4, 8, 16],
+            Tier::Full => &[4, 8, 16, 32],
         }
     }
 }
@@ -637,6 +658,7 @@ pub fn run_suite(
     let mut scheme_walls = WallPair::default();
     let mut batch_walls = WallPair::default();
     let mut traffic_walls = WallPair::default();
+    let mut churn_walls = WallPair::default();
     for &n in tier.tree_sizes() {
         cases.push(tree_case(n, repeats, threads, &mut tree_walls)?);
         progress(&cases.last().unwrap().id);
@@ -659,6 +681,13 @@ pub fn run_suite(
         &mut traffic_walls,
         &mut progress,
     )?);
+    cases.extend(churn_cases(
+        tier.churn_rounds(),
+        repeats,
+        threads,
+        &mut churn_walls,
+        &mut progress,
+    )?);
     let checks = scaling_checks(&cases);
     let mut speedup = Vec::new();
     for (group, walls) in [
@@ -666,6 +695,7 @@ pub fn run_suite(
         ("scheme_build", &scheme_walls),
         ("route_batch", &batch_walls),
         ("traffic_steady", &traffic_walls),
+        ("churn_degrade", &churn_walls),
     ] {
         if !walls.parallel.is_empty() {
             speedup.push(GroupSpeedup {
@@ -1039,6 +1069,77 @@ fn traffic_cases(
             id,
             group: "traffic_steady".to_string(),
             x: centi,
+            sim,
+            wall,
+        });
+        progress(&cases.last().unwrap().id);
+    }
+    Ok(cases)
+}
+
+fn churn_cases(
+    rounds_sweep: &[u64],
+    repeats: usize,
+    threads: usize,
+    walls: &mut WallPair,
+    progress: &mut impl FnMut(&str),
+) -> Result<Vec<CaseResult>, String> {
+    // One fixed scale-free graph and scheme for the whole group: the sweep
+    // varies how long the targeted-removal process runs, not the network.
+    let mut rng = Sweep::rng(CHURN_SEED, 0);
+    let g = Family::ScaleFree.generate(CHURN_N, &mut rng);
+    let built = routing::build(&g, &BuildParams::new(BATCH_K), &mut rng);
+    let mut cases = Vec::new();
+    for &rounds in rounds_sweep {
+        let id = format!("churn_degrade/sf/targeted/r{rounds}");
+        let (sim, wall) = repeated(&id, repeats, threads, walls, |threads| {
+            let scenario = ChurnScenario {
+                graph: &g,
+                scheme: &built.scheme,
+                config: ChurnConfig {
+                    process: ProcessKind::Targeted,
+                    rate: CHURN_RATE,
+                    rounds,
+                    seed: CHURN_SEED,
+                    threads,
+                    ..ChurnConfig::default()
+                },
+            };
+            let sw = Stopwatch::start();
+            let run = scenario.run();
+            let wall_ns = sw.elapsed_ns();
+            let last = run.rows.last().expect("timeline has a baseline row");
+            // Reachability is a ratio; sweep it in parts-per-million so the
+            // column stays an exactly-gateable integer.
+            let reach_ppm = (last.reachability(run.baseline_connected) * 1e6).round() as u64;
+            let sim = vec![
+                ("rounds".to_string(), run.engine_rounds),
+                ("messages".to_string(), run.engine_messages),
+                ("words".to_string(), run.engine_words),
+                ("dead_vertices".to_string(), last.dead_vertices),
+                ("dead_edges".to_string(), last.dead_edges),
+                ("blast_radius".to_string(), last.blast_radius),
+                ("final_reach_ppm".to_string(), reach_ppm),
+                (
+                    "delivered".to_string(),
+                    run.rows.iter().map(|r| r.flow_delivered).sum(),
+                ),
+                (
+                    "dropped_stuck".to_string(),
+                    run.rows.iter().map(|r| r.dropped_stuck).sum(),
+                ),
+                (
+                    "undeliverable".to_string(),
+                    run.rows.iter().map(|r| r.undeliverable).sum(),
+                ),
+                ("peak_queue_packets".to_string(), run.peak_queue_packets),
+            ];
+            (sim, wall_ns)
+        })?;
+        cases.push(CaseResult {
+            id,
+            group: "churn_degrade".to_string(),
+            x: rounds,
             sim,
             wall,
         });
@@ -1635,7 +1736,8 @@ mod tests {
                 "tree_build",
                 "scheme_build",
                 "route_batch",
-                "traffic_steady"
+                "traffic_steady",
+                "churn_degrade"
             ]
         );
         assert!(parallel.speedup.iter().all(|s| s.threads == 2));
@@ -1669,6 +1771,7 @@ mod tests {
                 + Tier::Smoke.scheme_sizes().len()
                 + Tier::Smoke.batch_loads().len()
                 + Tier::Smoke.traffic_rates().len()
+                + Tier::Smoke.churn_rounds().len()
         );
         // Two points per group: no scaling fits at smoke size.
         assert!(doc.checks.is_empty());

@@ -35,9 +35,9 @@
 use std::collections::HashMap;
 
 use congest::WordSized;
-use graphs::{shortest_paths, Graph, GraphBuilder, VertexId, Weight, INFINITY};
+use graphs::{shortest_paths, Graph, Overlay, VertexId, Weight, INFINITY};
 use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use crate::oracle::DistanceOracle;
@@ -815,26 +815,35 @@ pub fn probe_perturbed(
     spec: &PerturbSpec,
     baseline_mean_stretch: f64,
 ) -> PerturbedProbe {
-    let n = g.num_vertices();
     let mut rng = ChaCha8Rng::seed_from_u64(spec.seed);
-    let alive: Vec<bool> = (0..n)
-        .map(|_| rng.gen::<f64>() >= spec.kill_vertices)
-        .collect();
-    let killed_vertices = alive.iter().filter(|&&a| !a).count();
-    let mut builder = GraphBuilder::new(n);
-    let mut killed_edges = 0usize;
-    let mut surviving_edges = 0usize;
-    for (u, v, w) in g.edges() {
-        let vertex_killed = !alive[u.index()] || !alive[v.index()];
-        if vertex_killed || rng.gen::<f64>() < spec.kill_edges {
-            killed_edges += 1;
-        } else {
-            builder.add_edge(u, v, w);
-            surviving_edges += 1;
-        }
-    }
-    let perturbed = builder.build();
-    let probe = routing_probe(&perturbed, scheme, cfg, Some(&alive), |_, _| {});
+    let mut overlay = Overlay::new(g);
+    overlay.kill_random(g, spec.kill_vertices, spec.kill_edges, &mut rng);
+    probe_overlay(g, scheme, cfg, &overlay, spec, baseline_mean_stretch)
+}
+
+/// The overlay form of [`probe_perturbed`]: probe stale tables against an
+/// arbitrary tombstone [`Overlay`] (the one-shot random kill above is the
+/// degenerate single-event case; the `churn` crate feeds evolving overlays
+/// through the same path round after round).
+pub fn probe_overlay(
+    g: &Graph,
+    scheme: &RoutingScheme,
+    cfg: &AuditConfig,
+    overlay: &Overlay,
+    spec: &PerturbSpec,
+    baseline_mean_stretch: f64,
+) -> PerturbedProbe {
+    let killed_vertices = overlay.killed_vertices();
+    let surviving_edges = overlay.surviving_edges(g);
+    let killed_edges = g.num_edges() - surviving_edges;
+    let perturbed = overlay.build_graph(g);
+    let probe = routing_probe(
+        &perturbed,
+        scheme,
+        cfg,
+        Some(overlay.alive_vertices()),
+        |_, _| {},
+    );
     let stretch_inflation = if probe.delivered > 0 && baseline_mean_stretch > 0.0 {
         probe.mean_stretch / baseline_mean_stretch
     } else {
@@ -848,6 +857,50 @@ pub fn probe_perturbed(
         probe,
         stretch_inflation,
     }
+}
+
+/// Blast radius of a failure set: the number of *alive* vertices whose
+/// resident routing state references something dead — a table-entry root, a
+/// tree parent (or the physical vertex–parent edge), a label pivot, or a
+/// pivot-set pivot that the overlay has tombstoned.
+///
+/// This is the "how much of the network is now holding stale state" figure:
+/// those vertices would all need repair messages in an incremental rebuild,
+/// so the walker reuses the same attribution boundaries as [`attribution`].
+pub fn blast_radius(g: &Graph, scheme: &RoutingScheme, overlay: &Overlay) -> u64 {
+    let dead = |v: VertexId| !overlay.vertex_alive(v);
+    let mut blasted = 0u64;
+    for v in g.vertices() {
+        if dead(v) {
+            continue;
+        }
+        let parent_broken = |parent: Option<VertexId>| match parent {
+            Some(p) => {
+                dead(p)
+                    || g.neighbors(v)
+                        .iter()
+                        .find(|a| a.to == p)
+                        .is_some_and(|a| !overlay.edge_usable(g, a.edge))
+            }
+            None => false,
+        };
+        let tables = scheme.tables[v.index()].entries.iter().any(|e| {
+            dead(e.root)
+                || parent_broken(match &e.table {
+                    TreeTableKind::Ours(t) => t.parent,
+                    TreeTableKind::Prior(b) => b.local.parent,
+                })
+        });
+        let labels = scheme.labels[v.index()]
+            .entries
+            .iter()
+            .any(|e| dead(e.pivot));
+        let pivots = scheme.pivot_info[v.index()].iter().any(|&(p, _)| dead(p));
+        if tables || labels || pivots {
+            blasted += 1;
+        }
+    }
+    blasted
 }
 
 #[cfg(test)]
@@ -1036,5 +1089,61 @@ mod tests {
         let cfg = AuditConfig::default().with_sample_pairs(100);
         assert_eq!(cfg.sources, 10);
         assert_eq!(cfg.targets_per_source, 10);
+    }
+
+    #[test]
+    fn blast_radius_counts_vertices_referencing_dead_state() {
+        let (g, b) = built(60, 7009);
+        let intact = Overlay::new(&g);
+        assert_eq!(blast_radius(&g, &b.scheme, &intact), 0);
+
+        // Kill the top-level pivot of vertex 0: every vertex whose pivot set,
+        // labels, or tables mention it becomes blasted, and v0 certainly does.
+        let top = *b.scheme.pivot_info[0].last().unwrap();
+        let mut o = Overlay::new(&g);
+        o.kill_vertex(top.0);
+        let blasted = blast_radius(&g, &b.scheme, &o);
+        assert!(blasted >= 1, "killing a pivot must blast someone");
+        // The dead vertex itself is never counted.
+        assert!(blasted <= (g.num_vertices() - 1) as u64);
+
+        // Killing a vertex's physical parent edge in some tree blasts that
+        // vertex even though every referenced vertex is still alive.
+        'outer: for v in g.vertices() {
+            for e in &b.scheme.tables[v.index()].entries {
+                let parent = match &e.table {
+                    TreeTableKind::Ours(t) => t.parent,
+                    TreeTableKind::Prior(bt) => bt.local.parent,
+                };
+                if let Some(p) = parent {
+                    if let Some(a) = g.neighbors(v).iter().find(|a| a.to == p) {
+                        let mut o = Overlay::new(&g);
+                        o.kill_edge(a.edge);
+                        assert!(blast_radius(&g, &b.scheme, &o) >= 1);
+                        break 'outer;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn overlay_probe_matches_one_shot_perturbation() {
+        // probe_perturbed is the degenerate single-event case of the overlay
+        // machinery: replaying the same seeded kill through an explicit
+        // overlay must reproduce it exactly.
+        let (g, b) = built(64, 7010);
+        let cfg = AuditConfig::default();
+        let spec = PerturbSpec {
+            kill_edges: 0.2,
+            kill_vertices: 0.15,
+            seed: 42,
+        };
+        let p = probe_perturbed(&g, &b.scheme, &cfg, &spec, 1.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(spec.seed);
+        let mut o = Overlay::new(&g);
+        o.kill_random(&g, spec.kill_vertices, spec.kill_edges, &mut rng);
+        let q = probe_overlay(&g, &b.scheme, &cfg, &o, &spec, 1.0);
+        assert_eq!(p, q);
     }
 }

@@ -224,6 +224,11 @@ pub fn preferential_attachment<R: Rng>(
             let t = *urn.choose(rng).expect("urn non-empty");
             targets.insert(t);
         }
+        // Iterate in sorted order, not HashSet order: the set's randomized
+        // iteration would desynchronize the weight draws and urn growth from
+        // the seed, making "seeded" scale-free graphs irreproducible.
+        let mut targets: Vec<u32> = targets.into_iter().collect();
+        targets.sort_unstable();
         for &t in &targets {
             b.add_edge(
                 VertexId(v as u32),

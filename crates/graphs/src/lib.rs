@@ -21,12 +21,14 @@
 pub mod generators;
 pub mod graph;
 pub mod io;
+pub mod overlay;
 pub mod properties;
 pub mod rounding;
 pub mod shortest_paths;
 pub mod tree;
 
 pub use graph::{EdgeId, Graph, GraphBuilder, VertexId, Weight, INFINITY};
+pub use overlay::Overlay;
 pub use tree::RootedTree;
 
 /// Saturating addition for distances: anything plus [`INFINITY`] stays infinite.

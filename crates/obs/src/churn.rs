@@ -1,0 +1,598 @@
+//! The `churn_timeline` record: per-round health telemetry for a routing
+//! scheme forwarding on a graph that is failing out from under it.
+//!
+//! Each row samples one churn round: cumulative dead vertices/edges, the
+//! blast radius of the accumulated failures (alive vertices whose resident
+//! tables reference something dead), a fixed-pair routing probe decomposed
+//! with the same outcome taxonomy as the audit probe, and a traffic burst
+//! decomposed with the same conservation law as the traffic summary. A
+//! `DegradationStat` summarizes the reachability series (knee, half-life)
+//! and an optional `SloStat` records the operator-declared floor and where
+//! it was first breached.
+//!
+//! The producing machinery lives in the `churn` crate; this module owns the
+//! serialized shape and its `to_value`/`from_value` round-trip contract. As
+//! with the other records, the counting identities are *re-checked on
+//! parse*: probe outcomes must partition the fixed pair sample, traffic
+//! counts must conserve, and — when the process has no revival — the
+//! delivered series must be monotonically non-increasing, because a fixed
+//! pair sample routed by fixed stale tables can only lose pairs as failures
+//! accumulate.
+
+use crate::error::ParseError;
+use crate::json::Value;
+
+/// One churn round's health sample.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HealthRow {
+    /// Round index (0 = intact baseline, before any event fires).
+    pub round: u64,
+    /// Churn events applied in this round.
+    pub events: u64,
+    /// Cumulative dead vertices after this round.
+    pub dead_vertices: u64,
+    /// Cumulative unusable edges (own tombstone or dead endpoint).
+    pub dead_edges: u64,
+    /// Alive vertices whose resident routing state references something dead.
+    pub blast_radius: u64,
+    /// Fixed-sample pairs delivered by the stale tables this round.
+    pub delivered: u64,
+    /// Pairs with a dead endpoint (never routed).
+    pub endpoint_dead: u64,
+    /// Routed pairs that failed: endpoints share no routing tree.
+    pub no_common_tree: u64,
+    /// Routed pairs that failed: forwarding rule stuck mid-route.
+    pub stuck: u64,
+    /// Routed pairs that failed: forwarded over a now-missing edge.
+    pub bad_forward: u64,
+    /// Routed pairs that failed: hop cap exceeded.
+    pub looped: u64,
+    /// Mean delivered stretch vs the *current* perturbed graph's Dijkstra.
+    pub mean_stretch: f64,
+    /// `mean_stretch` over the round-0 mean stretch (1.0 when either side
+    /// delivered nothing).
+    pub stretch_inflation: f64,
+    /// Traffic-burst flows offered this round.
+    pub offered: u64,
+    /// Flows actually injected into the engine.
+    pub injected: u64,
+    /// Flows refused at injection (no plan, or dead endpoint).
+    pub undeliverable: u64,
+    /// Injected flows delivered by the burst.
+    pub flow_delivered: u64,
+    /// Injected flows dropped to finite queues.
+    pub dropped_capacity: u64,
+    /// Injected flows dropped because forwarding had no usable port.
+    pub dropped_stuck: u64,
+    /// Injected flows still queued when the burst window closed.
+    pub in_flight: u64,
+}
+
+impl HealthRow {
+    /// Fraction of the baseline-connected pairs still delivered this round.
+    pub fn reachability(&self, baseline_connected: u64) -> f64 {
+        if baseline_connected == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / baseline_connected as f64
+        }
+    }
+
+    fn to_value(&self, baseline_connected: u64) -> Value {
+        Value::object(vec![
+            ("round", Value::from(self.round)),
+            ("events", Value::from(self.events)),
+            ("dead_vertices", Value::from(self.dead_vertices)),
+            ("dead_edges", Value::from(self.dead_edges)),
+            ("blast_radius", Value::from(self.blast_radius)),
+            ("delivered", Value::from(self.delivered)),
+            ("endpoint_dead", Value::from(self.endpoint_dead)),
+            ("no_common_tree", Value::from(self.no_common_tree)),
+            ("stuck", Value::from(self.stuck)),
+            ("bad_forward", Value::from(self.bad_forward)),
+            ("looped", Value::from(self.looped)),
+            (
+                "reachability",
+                Value::from(self.reachability(baseline_connected)),
+            ),
+            ("mean_stretch", Value::from(self.mean_stretch)),
+            ("stretch_inflation", Value::from(self.stretch_inflation)),
+            ("offered", Value::from(self.offered)),
+            ("injected", Value::from(self.injected)),
+            ("undeliverable", Value::from(self.undeliverable)),
+            ("flow_delivered", Value::from(self.flow_delivered)),
+            ("dropped_capacity", Value::from(self.dropped_capacity)),
+            ("dropped_stuck", Value::from(self.dropped_stuck)),
+            ("in_flight", Value::from(self.in_flight)),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Result<HealthRow, ParseError> {
+        let row = HealthRow {
+            round: uint(v, "round")?,
+            events: uint(v, "events")?,
+            dead_vertices: uint(v, "dead_vertices")?,
+            dead_edges: uint(v, "dead_edges")?,
+            blast_radius: uint(v, "blast_radius")?,
+            delivered: uint(v, "delivered")?,
+            endpoint_dead: uint(v, "endpoint_dead")?,
+            no_common_tree: uint(v, "no_common_tree")?,
+            stuck: uint(v, "stuck")?,
+            bad_forward: uint(v, "bad_forward")?,
+            looped: uint(v, "looped")?,
+            mean_stretch: float(v, "mean_stretch")?,
+            stretch_inflation: float(v, "stretch_inflation")?,
+            offered: uint(v, "offered")?,
+            injected: uint(v, "injected")?,
+            undeliverable: uint(v, "undeliverable")?,
+            flow_delivered: uint(v, "flow_delivered")?,
+            dropped_capacity: uint(v, "dropped_capacity")?,
+            dropped_stuck: uint(v, "dropped_stuck")?,
+            in_flight: uint(v, "in_flight")?,
+        };
+        // Traffic conservation, same law as the traffic summary.
+        if row.offered != row.injected + row.undeliverable {
+            return Err(ParseError::bad(
+                "offered",
+                format!(
+                    "offered {} != injected {} + undeliverable {}",
+                    row.offered, row.injected, row.undeliverable
+                ),
+            ));
+        }
+        let resolved =
+            row.flow_delivered + row.dropped_capacity + row.dropped_stuck + row.in_flight;
+        if row.injected != resolved {
+            return Err(ParseError::bad(
+                "injected",
+                format!("injected {} but flow fates sum to {resolved}", row.injected),
+            ));
+        }
+        Ok(row)
+    }
+}
+
+/// Knee/half-life summary of the reachability series.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DegradationStat {
+    /// Reachability at round 0 (intact graph, stale-table routing losses
+    /// only).
+    pub initial_reachability: f64,
+    /// Reachability at the final round.
+    pub final_reachability: f64,
+    /// Round of the steepest single-round reachability drop, if any round
+    /// dropped at all.
+    pub knee_round: Option<u64>,
+    /// Size of that steepest drop (absolute reachability lost).
+    pub knee_drop: f64,
+    /// First round with reachability ≤ half the initial value, if reached.
+    pub half_life_round: Option<u64>,
+}
+
+impl DegradationStat {
+    fn to_value(&self) -> Value {
+        Value::object(vec![
+            (
+                "initial_reachability",
+                Value::from(self.initial_reachability),
+            ),
+            ("final_reachability", Value::from(self.final_reachability)),
+            ("knee_round", opt_to_value(self.knee_round)),
+            ("knee_drop", Value::from(self.knee_drop)),
+            ("half_life_round", opt_to_value(self.half_life_round)),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Result<DegradationStat, ParseError> {
+        Ok(DegradationStat {
+            initial_reachability: float(v, "initial_reachability")?,
+            final_reachability: float(v, "final_reachability")?,
+            knee_round: opt_uint(v, "knee_round")?,
+            knee_drop: float(v, "knee_drop")?,
+            half_life_round: opt_uint(v, "half_life_round")?,
+        })
+    }
+}
+
+/// An operator-declared SLO ("reachability ≥ floor through round R") and
+/// its verdict.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SloStat {
+    /// The reachability floor.
+    pub floor: f64,
+    /// The last round the floor must hold through.
+    pub through_round: u64,
+    /// First round ≤ `through_round` that went below the floor, if any.
+    pub breach_round: Option<u64>,
+}
+
+impl SloStat {
+    /// Whether the SLO held.
+    pub fn ok(&self) -> bool {
+        self.breach_round.is_none()
+    }
+
+    fn to_value(&self) -> Value {
+        Value::object(vec![
+            ("floor", Value::from(self.floor)),
+            ("through_round", Value::from(self.through_round)),
+            ("breach_round", opt_to_value(self.breach_round)),
+            ("ok", Value::from(self.ok())),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Result<SloStat, ParseError> {
+        Ok(SloStat {
+            floor: float(v, "floor")?,
+            through_round: uint(v, "through_round")?,
+            breach_round: opt_uint(v, "breach_round")?,
+        })
+    }
+}
+
+/// One full churn run: configuration echo, per-round health series, and the
+/// degradation summary.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChurnTimeline {
+    /// Vertices in the base graph.
+    pub n: u64,
+    /// Edges in the base graph.
+    pub m: u64,
+    /// The scheme's `k`.
+    pub k: u64,
+    /// Churn process name (`random`, `random-edges`, `targeted`, `regional`).
+    pub process: String,
+    /// Per-round failure rate (fraction of the original element count).
+    pub rate: f64,
+    /// Per-round revival probability for dead vertices (0 = monotone decay).
+    pub revive: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// Traffic workload name.
+    pub workload: String,
+    /// Traffic injection rate (flows per engine round during each burst).
+    pub traffic_rate: f64,
+    /// Size of the fixed probe pair sample.
+    pub probe_pairs: u64,
+    /// Pairs of the sample connected on the intact graph — the fixed
+    /// reachability denominator for every round.
+    pub baseline_connected: u64,
+    /// Round-0 mean delivered stretch (the inflation denominator).
+    pub baseline_mean_stretch: f64,
+    /// Per-round samples, ascending by round from 0.
+    pub rounds: Vec<HealthRow>,
+    /// Reachability-series summary.
+    pub degradation: DegradationStat,
+    /// SLO verdict, when one was declared.
+    pub slo: Option<SloStat>,
+}
+
+impl ChurnTimeline {
+    /// Whether the declared SLO (if any) held.
+    pub fn ok(&self) -> bool {
+        self.slo.as_ref().is_none_or(SloStat::ok)
+    }
+
+    /// The reachability series, one value per round.
+    pub fn reachability_series(&self) -> Vec<f64> {
+        self.rounds
+            .iter()
+            .map(|r| r.reachability(self.baseline_connected))
+            .collect()
+    }
+
+    /// Serialize as a `churn_timeline` record.
+    pub fn to_value(&self) -> Value {
+        Value::object(vec![
+            ("type", Value::from("churn_timeline")),
+            ("n", Value::from(self.n)),
+            ("m", Value::from(self.m)),
+            ("k", Value::from(self.k)),
+            ("process", Value::from(self.process.as_str())),
+            ("rate", Value::from(self.rate)),
+            ("revive", Value::from(self.revive)),
+            ("seed", Value::from(self.seed)),
+            ("workload", Value::from(self.workload.as_str())),
+            ("traffic_rate", Value::from(self.traffic_rate)),
+            ("probe_pairs", Value::from(self.probe_pairs)),
+            ("baseline_connected", Value::from(self.baseline_connected)),
+            (
+                "baseline_mean_stretch",
+                Value::from(self.baseline_mean_stretch),
+            ),
+            (
+                "rounds",
+                Value::Array(
+                    self.rounds
+                        .iter()
+                        .map(|r| r.to_value(self.baseline_connected))
+                        .collect(),
+                ),
+            ),
+            ("degradation", self.degradation.to_value()),
+            (
+                "slo",
+                self.slo.as_ref().map_or(Value::Null, SloStat::to_value),
+            ),
+        ])
+    }
+
+    /// Parse a `churn_timeline` record back.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] naming the first missing or ill-typed field,
+    /// a row violating probe partition or traffic conservation, or — for
+    /// revival-free processes — a delivered series that is not monotonically
+    /// non-increasing.
+    pub fn from_value(v: &Value) -> Result<ChurnTimeline, ParseError> {
+        if v.get("type").and_then(Value::as_str) != Some("churn_timeline") {
+            return Err(ParseError::not_record("churn_timeline"));
+        }
+        let tag = |e: ParseError| e.for_type("churn_timeline");
+        let rounds = v
+            .get("rounds")
+            .and_then(Value::as_array)
+            .ok_or_else(|| tag(ParseError::missing("rounds")))?
+            .iter()
+            .map(HealthRow::from_value)
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(tag)?;
+        let degradation = DegradationStat::from_value(
+            v.get("degradation")
+                .ok_or_else(|| tag(ParseError::missing("degradation")))?,
+        )
+        .map_err(tag)?;
+        let slo = match v.get("slo") {
+            None | Some(Value::Null) => None,
+            Some(s) => Some(SloStat::from_value(s).map_err(tag)?),
+        };
+        let t = ChurnTimeline {
+            n: uint(v, "n").map_err(tag)?,
+            m: uint(v, "m").map_err(tag)?,
+            k: uint(v, "k").map_err(tag)?,
+            process: text(v, "process").map_err(tag)?,
+            rate: float(v, "rate").map_err(tag)?,
+            revive: float(v, "revive").map_err(tag)?,
+            seed: uint(v, "seed").map_err(tag)?,
+            workload: text(v, "workload").map_err(tag)?,
+            traffic_rate: float(v, "traffic_rate").map_err(tag)?,
+            probe_pairs: uint(v, "probe_pairs").map_err(tag)?,
+            baseline_connected: uint(v, "baseline_connected").map_err(tag)?,
+            baseline_mean_stretch: float(v, "baseline_mean_stretch").map_err(tag)?,
+            rounds,
+            degradation,
+            slo,
+        };
+        if t.rounds.is_empty() {
+            return Err(tag(ParseError::bad("rounds", "empty series")));
+        }
+        for (i, row) in t.rounds.iter().enumerate() {
+            let fail = |field: &str, why: String| tag(ParseError::bad(field, why));
+            if row.round != i as u64 {
+                return Err(fail(
+                    "round",
+                    format!("row {i} carries round {}", row.round),
+                ));
+            }
+            // Probe outcomes partition the fixed pair sample.
+            let resolved = row.delivered
+                + row.endpoint_dead
+                + row.no_common_tree
+                + row.stuck
+                + row.bad_forward
+                + row.looped;
+            if resolved != t.probe_pairs {
+                return Err(fail(
+                    "delivered",
+                    format!(
+                        "round {i} outcomes sum to {resolved} but the sample has {} pairs",
+                        t.probe_pairs
+                    ),
+                ));
+            }
+            // Delivery can never exceed the intact graph's connectivity.
+            if row.delivered > t.baseline_connected {
+                return Err(fail(
+                    "delivered",
+                    format!(
+                        "round {i} delivered {} of {} baseline-connected pairs",
+                        row.delivered, t.baseline_connected
+                    ),
+                ));
+            }
+        }
+        if t.baseline_connected > t.probe_pairs {
+            return Err(tag(ParseError::bad(
+                "baseline_connected",
+                "exceeds sampled pairs",
+            )));
+        }
+        // Without revival the failure set only grows, the pair sample and
+        // tables are fixed, so the delivered series must be monotone.
+        if t.revive == 0.0 {
+            for w in t.rounds.windows(2) {
+                if w[1].delivered > w[0].delivered {
+                    return Err(tag(ParseError::bad(
+                        "delivered",
+                        format!(
+                            "round {} delivers {} > {} of round {} with no revival",
+                            w[1].round, w[1].delivered, w[0].delivered, w[0].round
+                        ),
+                    )));
+                }
+            }
+        }
+        Ok(t)
+    }
+}
+
+fn opt_to_value(v: Option<u64>) -> Value {
+    v.map_or(Value::Null, Value::from)
+}
+
+fn opt_uint(v: &Value, key: &str) -> Result<Option<u64>, ParseError> {
+    match v.get(key) {
+        None => Err(ParseError::missing(key)),
+        Some(Value::Null) => Ok(None),
+        Some(x) => x
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| ParseError::bad(key, "not a non-negative integer")),
+    }
+}
+
+fn uint(v: &Value, key: &str) -> Result<u64, ParseError> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| ParseError::missing(key))
+}
+
+fn float(v: &Value, key: &str) -> Result<f64, ParseError> {
+    v.get(key)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| ParseError::missing(key))
+}
+
+fn text(v: &Value, key: &str) -> Result<String, ParseError> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| ParseError::missing(key))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(round: u64, delivered: u64) -> HealthRow {
+        HealthRow {
+            round,
+            events: if round == 0 { 0 } else { 2 },
+            dead_vertices: 2 * round,
+            dead_edges: 5 * round,
+            blast_radius: 8 * round,
+            delivered,
+            endpoint_dead: 90 - delivered.min(90),
+            no_common_tree: 4,
+            stuck: 3,
+            bad_forward: 2,
+            looped: 1,
+            mean_stretch: 1.2,
+            stretch_inflation: 1.0,
+            offered: 64,
+            injected: 60,
+            undeliverable: 4,
+            flow_delivered: 50,
+            dropped_capacity: 4,
+            dropped_stuck: 5,
+            in_flight: 1,
+        }
+    }
+
+    fn sample() -> ChurnTimeline {
+        ChurnTimeline {
+            n: 128,
+            m: 400,
+            k: 2,
+            process: "targeted".to_string(),
+            rate: 0.02,
+            revive: 0.0,
+            seed: 7,
+            workload: "uniform".to_string(),
+            traffic_rate: 2.0,
+            probe_pairs: 100,
+            baseline_connected: 95,
+            baseline_mean_stretch: 1.2,
+            rounds: vec![row(0, 90), row(1, 80), row(2, 40)],
+            degradation: DegradationStat {
+                initial_reachability: 90.0 / 95.0,
+                final_reachability: 40.0 / 95.0,
+                knee_round: Some(2),
+                knee_drop: 40.0 / 95.0,
+                half_life_round: Some(2),
+            },
+            slo: Some(SloStat {
+                floor: 0.9,
+                through_round: 2,
+                breach_round: Some(1),
+            }),
+        }
+    }
+
+    #[test]
+    fn round_trips() {
+        let t = sample();
+        let parsed =
+            ChurnTimeline::from_value(&crate::json::parse(&t.to_value().to_string()).unwrap())
+                .unwrap();
+        assert_eq!(parsed, t);
+        assert!(!parsed.ok(), "breached SLO");
+        let series = parsed.reachability_series();
+        assert_eq!(series.len(), 3);
+        assert!((series[0] - 90.0 / 95.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn none_slo_round_trips_as_null_and_is_ok() {
+        let mut t = sample();
+        t.slo = None;
+        let parsed =
+            ChurnTimeline::from_value(&crate::json::parse(&t.to_value().to_string()).unwrap())
+                .unwrap();
+        assert_eq!(parsed.slo, None);
+        assert!(parsed.ok());
+    }
+
+    #[test]
+    fn rejects_wrong_type_and_missing_fields() {
+        let not = Value::object(vec![("type", Value::from("metrics"))]);
+        assert!(ChurnTimeline::from_value(&not).is_err());
+        let mut fields = match sample().to_value() {
+            Value::Object(fields) => fields,
+            _ => unreachable!(),
+        };
+        fields.retain(|(k, _)| k != "baseline_connected");
+        let err = ChurnTimeline::from_value(&Value::Object(fields)).unwrap_err();
+        assert_eq!(err.field.as_deref(), Some("baseline_connected"));
+        assert_eq!(err.record_type.as_deref(), Some("churn_timeline"));
+    }
+
+    #[test]
+    fn rejects_non_monotone_delivery_without_revival() {
+        let mut t = sample();
+        t.rounds[2].delivered = 85; // recovers without revival: impossible
+        t.rounds[2].endpoint_dead = 5;
+        let err =
+            ChurnTimeline::from_value(&crate::json::parse(&t.to_value().to_string()).unwrap())
+                .unwrap_err();
+        assert_eq!(err.field.as_deref(), Some("delivered"));
+
+        // The same series is legal when the process revives vertices.
+        t.revive = 0.1;
+        assert!(
+            ChurnTimeline::from_value(&crate::json::parse(&t.to_value().to_string()).unwrap())
+                .is_ok()
+        );
+    }
+
+    #[test]
+    fn rejects_unbalanced_probe_partition() {
+        let mut t = sample();
+        t.rounds[1].stuck += 1; // outcomes no longer partition the sample
+        let err =
+            ChurnTimeline::from_value(&crate::json::parse(&t.to_value().to_string()).unwrap())
+                .unwrap_err();
+        assert_eq!(err.field.as_deref(), Some("delivered"));
+    }
+
+    #[test]
+    fn rejects_broken_traffic_conservation() {
+        let mut t = sample();
+        t.rounds[0].injected = 59; // offered != injected + undeliverable
+        let err =
+            ChurnTimeline::from_value(&crate::json::parse(&t.to_value().to_string()).unwrap())
+                .unwrap_err();
+        assert_eq!(err.field.as_deref(), Some("offered"));
+    }
+}

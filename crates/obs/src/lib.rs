@@ -44,6 +44,7 @@ use std::io::{self, Write as _};
 use std::path::Path;
 
 pub mod audit;
+pub mod churn;
 pub mod cli;
 pub mod error;
 pub mod flight;

@@ -14,6 +14,7 @@
 //! drt audit    <graph-file> <scheme-file> [--sample <pairs>] [--seed <s>]
 //!              [--kill-edges <p>] [--kill-vertices <p>] [--report <path>] [--json]
 //! drt traffic  <graph-file> <scheme-file> [--workload <w>] [--rate <r,...>] ...
+//! drt churn    <graph-file> <scheme-file> [--process <p>] [--rate <f>] [--rounds <n>] ...
 //! drt report   <report-file> [--json]                   # validate a JSONL report
 //! drt bench    [--smoke|--quick|--full] [--label <l>] [--out <path>] [--repeats <r>] [--threads <t>]
 //! drt compare  <old.json> <new.json> [--sim-tol <f>] [--wall-tol <f>] [--wall-gate]
@@ -55,6 +56,21 @@
 //! meeting the SLO (bounded p99 queueing delay, negligible loss). The run
 //! is seed-deterministic at any `--threads` count; `--report` writes one
 //! `traffic_summary` plus one `edge_load` record per rate.
+//!
+//! `drt churn` runs the churn observatory (crate `churn`): a seeded failure
+//! process (`random`, `random-edges`, `targeted`, `regional`, optionally
+//! with `--revive`) kills part of the network every round while the saved
+//! scheme keeps forwarding with its stale tables. Each round samples a
+//! fixed seeded probe (reachability over the intact-graph denominator —
+//! monotone for revival-free processes), delivered-stretch inflation
+//! against the perturbed graph's Dijkstra, a traffic burst (misroutes
+//! surface as stuck drops), and the blast radius — alive vertices whose
+//! tables reference something dead. It prints the timeline plus a knee /
+//! half-life degradation summary; `--slo <floor> --slo-round <r>` declares
+//! "reachability ≥ floor through round r" and the command exits nonzero on
+//! breach. `--report` writes a `churn_timeline` record; `--json` prints it.
+//! One-shot `drt audit --kill-edges/--kill-vertices` is the single-event
+//! case of the same overlay machinery.
 //!
 //! `drt build` and `drt bench` accept `--threads <t>` (or `DRT_THREADS`;
 //! default: all available cores) to run the engine-backed phases on a worker
@@ -122,13 +138,14 @@ fn main() -> ExitCode {
         Some("stretch") => cmd_stretch(&args[1..]),
         Some("audit") => cmd_audit(&args[1..], &opts),
         Some("traffic") => cmd_traffic(&args[1..], &opts),
+        Some("churn") => cmd_churn(&args[1..], &opts),
         Some("report") => cmd_report(&args[1..], &opts),
         Some("bench") => cmd_bench(&args[1..], &opts),
         Some("compare") => cmd_compare(&args[1..]),
         Some("profile") => cmd_profile(&args[1..], &opts),
         _ => {
             eprintln!(
-                "usage: drt <generate|info|build|route|query|trace|stretch|audit|traffic|report|bench|compare|profile> ... (see crate docs)"
+                "usage: drt <generate|info|build|route|query|trace|stretch|audit|traffic|churn|report|bench|compare|profile> ... (see crate docs)"
             );
             return ExitCode::FAILURE;
         }
@@ -720,6 +737,12 @@ fn cmd_report(args: &[String], opts: &obs::cli::ReportOptions) -> Result<(), Str
                 // identity, so a record that parses here is internally
                 // consistent.
                 check(obs::audit::SchemeAudit::from_value(record).map(|_| ()))?;
+            }
+            "churn_timeline" => {
+                // `from_value` re-checks per-round probe partition, traffic
+                // conservation, and (for revival-free processes) monotone
+                // delivery.
+                check(obs::churn::ChurnTimeline::from_value(record).map(|_| ()))?;
             }
             _ => {}
         }
@@ -1330,6 +1353,221 @@ fn cmd_traffic(args: &[String], opts: &obs::cli::ReportOptions) -> Result<(), St
         )
         .map_err(|e| format!("writing report {}: {e}", path.display()))?;
         println!("report written to {}", path.display());
+    }
+    Ok(())
+}
+
+fn cmd_churn(args: &[String], opts: &obs::cli::ReportOptions) -> Result<(), String> {
+    let usage = "churn <graph-file> <scheme-file> \
+                 [--process <random|random-edges|targeted|regional>] [--rate <f>] \
+                 [--rounds <n>] [--revive <p>] [--workload <uniform|gravity|hotspot|worst>] \
+                 [--traffic-rate <f>] [--burst-rounds <n>] [--queue-cap <c>] [--pairs <n>] \
+                 [--seed <s>] [--slo <floor>] [--slo-round <r>] [--report <path>] [--json] \
+                 [--threads <t>]";
+    let prob = |flag: &str, v: &str| -> Result<f64, String> {
+        let p: f64 = v.parse().map_err(|_| format!("bad {flag} '{v}'"))?;
+        if (0.0..=1.0).contains(&p) {
+            Ok(p)
+        } else {
+            Err(format!("{flag} must be in [0, 1], got {p}"))
+        }
+    };
+    let mut positional = Vec::new();
+    let mut config = churn::ChurnConfig::default();
+    let mut slo_floor: Option<f64> = None;
+    let mut slo_round: Option<u64> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--process" => {
+                let v = it.next().ok_or("--process needs a value")?;
+                config.process = churn::ProcessKind::parse(v).ok_or_else(|| {
+                    format!("unknown process '{v}' (random|random-edges|targeted|regional)")
+                })?;
+            }
+            "--rate" => {
+                let v = it.next().ok_or("--rate needs a value")?;
+                config.rate = prob("--rate", v)?;
+            }
+            "--rounds" => {
+                let v = it.next().ok_or("--rounds needs a value")?;
+                config.rounds = v.parse().map_err(|_| format!("bad round count '{v}'"))?;
+            }
+            "--revive" => {
+                let v = it.next().ok_or("--revive needs a value")?;
+                config.revive = prob("--revive", v)?;
+            }
+            "--workload" => {
+                let v = it.next().ok_or("--workload needs a value")?;
+                config.workload = traffic::WorkloadKind::parse(v).ok_or_else(|| {
+                    format!("unknown workload '{v}' (uniform|gravity|hotspot|worst)")
+                })?;
+            }
+            "--traffic-rate" => {
+                let v = it.next().ok_or("--traffic-rate needs a value")?;
+                config.traffic_rate = v.parse().map_err(|_| format!("bad traffic rate '{v}'"))?;
+            }
+            "--burst-rounds" => {
+                let v = it.next().ok_or("--burst-rounds needs a value")?;
+                config.burst_rounds = v.parse().map_err(|_| format!("bad burst rounds '{v}'"))?;
+            }
+            "--queue-cap" => {
+                let v = it.next().ok_or("--queue-cap needs a value")?;
+                config.queue_cap = v.parse().map_err(|_| format!("bad queue capacity '{v}'"))?;
+            }
+            "--pairs" => {
+                let v = it.next().ok_or("--pairs needs a value")?;
+                config.probe_pairs = v.parse().map_err(|_| format!("bad pair count '{v}'"))?;
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                config.seed = v.parse().map_err(|_| format!("bad seed '{v}'"))?;
+            }
+            "--slo" => {
+                let v = it.next().ok_or("--slo needs a value")?;
+                slo_floor = Some(prob("--slo", v)?);
+            }
+            "--slo-round" => {
+                let v = it.next().ok_or("--slo-round needs a value")?;
+                slo_round = Some(v.parse().map_err(|_| format!("bad SLO round '{v}'"))?);
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+    let [graph_path, scheme_path] = positional.as_slice() else {
+        return Err(usage.into());
+    };
+    if config.rounds == 0 {
+        return Err("--rounds must be at least 1".into());
+    }
+    let g = load_graph(graph_path)?;
+    let scheme = load_scheme(scheme_path)?;
+    config.threads = opts.resolved_threads();
+    let slo = slo_floor.map(|floor| churn::ChurnSlo {
+        floor,
+        through_round: slo_round.unwrap_or(config.rounds),
+    });
+    let scenario = churn::ChurnScenario {
+        graph: &g,
+        scheme: &scheme,
+        config,
+    };
+    let run = scenario.run();
+    let record = run.to_record(&g, scheme.k, slo.as_ref());
+
+    if opts.json {
+        println!("{}", record.to_value());
+    } else {
+        println!(
+            "{} churn on {graph_path} (n = {}, m = {}): rate {:.3}/round for {} rounds, \
+             revive {:.3}, {} workload at {:.2}/round, seed {}, {} engine thread{}",
+            config.process.name(),
+            g.num_vertices(),
+            g.num_edges(),
+            config.rate,
+            config.rounds,
+            config.revive,
+            config.workload.name(),
+            config.traffic_rate,
+            config.seed,
+            config.threads,
+            if config.threads == 1 { "" } else { "s" }
+        );
+        println!(
+            "probe: {} fixed pairs, {} connected intact (reachability denominator)",
+            run.probe_pairs, run.baseline_connected
+        );
+        println!(
+            "{:>5} {:>6} {:>6} {:>6} {:>6} {:>7} {:>8} {:>7} {:>8} {:>7} {:>6}",
+            "round",
+            "events",
+            "deadV",
+            "deadE",
+            "blast",
+            "reach%",
+            "stretch",
+            "burst",
+            "delivrd",
+            "stuck",
+            "undlv"
+        );
+        for row in &run.rows {
+            println!(
+                "{:>5} {:>6} {:>6} {:>6} {:>6} {:>6.1}% {:>7.3}x {:>7} {:>8} {:>7} {:>6}",
+                row.round,
+                row.events,
+                row.dead_vertices,
+                row.dead_edges,
+                row.blast_radius,
+                row.reachability(run.baseline_connected) * 100.0,
+                row.stretch_inflation,
+                row.offered,
+                row.flow_delivered,
+                row.dropped_stuck,
+                row.undeliverable
+            );
+        }
+        let d = &record.degradation;
+        println!(
+            "degradation: reachability {:.1}% -> {:.1}%; knee {}; half-life {}",
+            d.initial_reachability * 100.0,
+            d.final_reachability * 100.0,
+            match d.knee_round {
+                Some(r) => format!("round {r} (-{:.1}%)", d.knee_drop * 100.0),
+                None => "none".to_string(),
+            },
+            match d.half_life_round {
+                Some(r) => format!("round {r}"),
+                None => "not reached".to_string(),
+            }
+        );
+    }
+    if let Some(path) = &opts.report {
+        let mut rec = obs::Recorder::when(true);
+        let span = rec.begin("drt/churn");
+        rec.charge(&obs::Counters {
+            rounds: run.engine_rounds,
+            messages: run.engine_messages,
+            words: run.engine_words,
+            broadcasts: 0,
+        });
+        rec.end(span);
+        rec.add_record(record.to_value());
+        rec.write_report(
+            path,
+            "drt-churn",
+            &[
+                ("graph", Value::from(graph_path.as_str())),
+                ("scheme", Value::from(scheme_path.as_str())),
+                ("process", Value::from(config.process.name())),
+                ("churn_rounds", Value::from(config.rounds)),
+            ],
+        )
+        .map_err(|e| format!("writing report {}: {e}", path.display()))?;
+        if !opts.json {
+            println!("report written to {}", path.display());
+        }
+    }
+    if let Some(verdict) = &record.slo {
+        match verdict.breach_round {
+            Some(r) => {
+                return Err(format!(
+                    "SLO breached: reachability fell below {:.1}% at round {r} \
+                     (declared floor through round {})",
+                    verdict.floor * 100.0,
+                    verdict.through_round
+                ));
+            }
+            None => {
+                if !opts.json {
+                    println!(
+                        "SLO ok: reachability stayed >= {:.1}% through round {}",
+                        verdict.floor * 100.0,
+                        verdict.through_round
+                    );
+                }
+            }
+        }
     }
     Ok(())
 }
