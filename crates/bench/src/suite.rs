@@ -2,7 +2,7 @@
 //! fixed-seed sweeps, a schema'd `BENCH_*.json` trajectory document, an
 //! automated scaling-law checker, and threshold-based regression diffing.
 //!
-//! The suite sweeps five groups:
+//! The suite sweeps six groups:
 //!
 //! * `tree_build` — the Theorem-2 distributed tree-routing construction on
 //!   Erdős–Rényi shortest-path trees, across `n`;
@@ -15,7 +15,11 @@
 //!   rate — the delivered-throughput determinism gate for `drt traffic`;
 //! * `churn_degrade` — the churn observatory's targeted-removal timeline on
 //!   a fixed scale-free scheme, across the number of churn rounds — the
-//!   determinism gate for `drt churn`'s health telemetry.
+//!   determinism gate for `drt churn`'s health telemetry;
+//! * `serve_qps` — the query-serving plane's closed-loop batches against a
+//!   fixed immutable snapshot, across the stream length — the determinism
+//!   gate for `drt serve`'s answer checksum, with achieved QPS carried in
+//!   the advisory wall column.
 //!
 //! Every case records two kinds of numbers with different trust levels. The
 //! **simulated** columns (rounds, messages, words, peak memory, table/label
@@ -37,6 +41,7 @@ use obs::json::Value;
 use obs::metrics::{quantile_ns, Stopwatch};
 use obs::scaling::{fit_power_law, ExponentRange, ScalingCheck};
 use routing::{build_observed, packet, BuildParams};
+use serve::{generate_stream, run_closed, ServeConfig, ServePool, ServeWorkload, Snapshot};
 use traffic::{ScenarioConfig, TrafficScenario, WorkloadKind};
 use tree_routing::distributed;
 
@@ -71,6 +76,15 @@ const CHURN_SEED: u64 = 0xC4AB;
 const CHURN_N: usize = 128;
 /// Per-round targeted failure rate for every `churn_degrade` case.
 const CHURN_RATE: f64 = 0.02;
+/// Seed for the `serve_qps` group's fixed graph, scheme, and query streams.
+const SERVE_SEED: u64 = 0x5EBE;
+/// Graph size for the `serve_qps` group.
+const SERVE_N: usize = 192;
+/// Queries per dispatched batch for every `serve_qps` case.
+const SERVE_BATCH: usize = 64;
+/// Fraction of served answers re-derived through the central router/oracle
+/// in every `serve_qps` case; the mismatch count is an exactly-gated column.
+const SERVE_CHECK_RATE: f64 = 0.05;
 
 /// Suite size tiers. `Quick` cases are a strict subset of `Full` cases with
 /// identical ids, seeds, and therefore identical simulated columns, so a
@@ -156,6 +170,15 @@ impl Tier {
             Tier::Smoke => &[2, 4],
             Tier::Quick => &[4, 8, 16],
             Tier::Full => &[4, 8, 16, 32],
+        }
+    }
+
+    /// Query-stream lengths for the `serve_qps` sweep.
+    fn serve_queries(self) -> &'static [usize] {
+        match self {
+            Tier::Smoke => &[64, 128],
+            Tier::Quick => &[256, 1024, 4096],
+            Tier::Full => &[256, 1024, 4096, 16384],
         }
     }
 }
@@ -659,6 +682,7 @@ pub fn run_suite(
     let mut batch_walls = WallPair::default();
     let mut traffic_walls = WallPair::default();
     let mut churn_walls = WallPair::default();
+    let mut serve_walls = WallPair::default();
     for &n in tier.tree_sizes() {
         cases.push(tree_case(n, repeats, threads, &mut tree_walls)?);
         progress(&cases.last().unwrap().id);
@@ -688,6 +712,13 @@ pub fn run_suite(
         &mut churn_walls,
         &mut progress,
     )?);
+    cases.extend(serve_cases(
+        tier.serve_queries(),
+        repeats,
+        threads,
+        &mut serve_walls,
+        &mut progress,
+    )?);
     let checks = scaling_checks(&cases);
     let mut speedup = Vec::new();
     for (group, walls) in [
@@ -696,6 +727,7 @@ pub fn run_suite(
         ("route_batch", &batch_walls),
         ("traffic_steady", &traffic_walls),
         ("churn_degrade", &churn_walls),
+        ("serve_qps", &serve_walls),
     ] {
         if !walls.parallel.is_empty() {
             speedup.push(GroupSpeedup {
@@ -1148,6 +1180,61 @@ fn churn_cases(
     Ok(cases)
 }
 
+fn serve_cases(
+    query_counts: &[usize],
+    repeats: usize,
+    threads: usize,
+    walls: &mut WallPair,
+    progress: &mut impl FnMut(&str),
+) -> Result<Vec<CaseResult>, String> {
+    // One fixed graph, scheme, and shared snapshot for the whole group: the
+    // sweep varies the stream length, not the network.
+    let mut rng = Sweep::rng(SERVE_SEED, 0);
+    let g = Family::ErdosRenyi.generate(SERVE_N, &mut rng);
+    let built = routing::build(&g, &BuildParams::new(BATCH_K), &mut rng);
+    let snap = Snapshot::share(g, built.scheme);
+    let mut cases = Vec::new();
+    for &queries in query_counts {
+        let id = format!("serve_qps/er/uniform/q{queries}");
+        let (sim, wall) = repeated(&id, repeats, threads, walls, |threads| {
+            let config = ServeConfig {
+                workload: ServeWorkload::Uniform,
+                queries,
+                batch: SERVE_BATCH,
+                threads,
+                seed: SERVE_SEED,
+                check_rate: SERVE_CHECK_RATE,
+            };
+            let stream = generate_stream(&snap, &config);
+            let mut pool = ServePool::start(snap.clone(), threads);
+            let summary = run_closed(&mut pool, &stream, &config);
+            let sim = vec![
+                ("answered".to_string(), summary.answered),
+                ("unreachable".to_string(), summary.unreachable),
+                ("errors".to_string(), summary.errors),
+                ("checks".to_string(), summary.checks),
+                ("mismatches".to_string(), summary.mismatches),
+                ("total_weight".to_string(), summary.total_weight),
+                ("total_hops".to_string(), summary.total_hops),
+                ("answer_checksum".to_string(), summary.answer_checksum),
+            ];
+            // The run times its own serving loop; use it so the number
+            // prices the answered batches, not the stream generation or
+            // pool spin-up, and QPS can be read straight off the case.
+            (sim, summary.wall_ns)
+        })?;
+        cases.push(CaseResult {
+            id,
+            group: "serve_qps".to_string(),
+            x: queries as u64,
+            sim,
+            wall,
+        });
+        progress(&cases.last().unwrap().id);
+    }
+    Ok(cases)
+}
+
 /// The paper-predicted exponent ranges the checker asserts: metric, range,
 /// and the claim it operationalizes. Log-like growth is asserted as a small
 /// positive exponent band (see [`obs::scaling`]); polylog slack widens every
@@ -1236,6 +1323,13 @@ const PREDICTIONS: &[(&str, &str, f64, f64, &str)] = &[
         0.70,
         1.30,
         "delivered throughput tracks the offered rate below saturation",
+    ),
+    (
+        "serve_qps",
+        "answered",
+        0.85,
+        1.15,
+        "answered queries scale linearly with the stream — O(1) table/label reads per query at a fixed scheme",
     ),
 ];
 
@@ -1737,7 +1831,8 @@ mod tests {
                 "scheme_build",
                 "route_batch",
                 "traffic_steady",
-                "churn_degrade"
+                "churn_degrade",
+                "serve_qps"
             ]
         );
         assert!(parallel.speedup.iter().all(|s| s.threads == 2));
@@ -1772,11 +1867,19 @@ mod tests {
                 + Tier::Smoke.batch_loads().len()
                 + Tier::Smoke.traffic_rates().len()
                 + Tier::Smoke.churn_rounds().len()
+                + Tier::Smoke.serve_queries().len()
         );
         // Two points per group: no scaling fits at smoke size.
         assert!(doc.checks.is_empty());
         for case in &doc.cases {
-            assert!(case.sim("rounds").unwrap() > 0, "{}", case.id);
+            // Serving cases have no engine rounds; their activity witness is
+            // the answered count (and an always-clean mismatch column).
+            if case.group == "serve_qps" {
+                assert!(case.sim("answered").unwrap() > 0, "{}", case.id);
+                assert_eq!(case.sim("mismatches"), Some(0), "{}", case.id);
+            } else {
+                assert!(case.sim("rounds").unwrap() > 0, "{}", case.id);
+            }
             assert!(case.wall.repeats == 1);
         }
         let text = doc.to_value().to_string();

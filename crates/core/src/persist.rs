@@ -19,6 +19,11 @@ use crate::scheme::{
 
 const MAGIC: &[u8; 4] = b"DRS1";
 
+/// Magic for the checksummed file container wrapping [`encode_scheme`] bytes.
+const CONTAINER_MAGIC: &[u8; 4] = b"DRSC";
+/// Current container format version.
+const CONTAINER_VERSION: u64 = 1;
+
 /// Why decoding failed.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum PersistError {
@@ -28,6 +33,22 @@ pub enum PersistError {
     Malformed,
     /// The scheme used the prior-baseline tree family.
     UnsupportedMode,
+    /// The container declares more payload bytes than the file holds.
+    Truncated {
+        /// Payload bytes the header promised.
+        expected: usize,
+        /// Payload bytes actually present.
+        found: usize,
+    },
+    /// The payload does not match the stored CRC32 — bit rot or tampering.
+    ChecksumMismatch {
+        /// CRC32 recorded in the container header.
+        stored: u32,
+        /// CRC32 computed over the payload that was read.
+        computed: u32,
+    },
+    /// Filesystem error while saving or loading (message from the OS).
+    Io(String),
 }
 
 impl std::fmt::Display for PersistError {
@@ -38,11 +59,143 @@ impl std::fmt::Display for PersistError {
             PersistError::UnsupportedMode => {
                 write!(f, "prior-baseline schemes are not serializable")
             }
+            PersistError::Truncated { expected, found } => write!(
+                f,
+                "truncated container: header promises {expected} payload bytes, found {found}"
+            ),
+            PersistError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "payload checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            PersistError::Io(msg) => write!(f, "io error: {msg}"),
         }
     }
 }
 
 impl std::error::Error for PersistError {}
+
+/// CRC32 (IEEE 802.3 polynomial, reflected) lookup table, built at compile
+/// time so the container needs no external checksum crate.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC32 (IEEE) of `bytes` — the checksum guarding container payloads.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Wrap a scheme in the checksummed file container: magic, version, payload
+/// length, CRC32 over the payload, then the [`encode_scheme`] payload itself.
+///
+/// # Errors
+///
+/// [`PersistError::UnsupportedMode`] for prior-baseline schemes.
+pub fn encode_container(s: &RoutingScheme) -> Result<Vec<u8>, PersistError> {
+    let payload = encode_scheme(s)?;
+    let mut buf = Vec::with_capacity(payload.len() + 16);
+    buf.extend_from_slice(CONTAINER_MAGIC);
+    write_varint(&mut buf, CONTAINER_VERSION);
+    write_varint(&mut buf, payload.len() as u64);
+    buf.extend_from_slice(&crc32(&payload).to_le_bytes());
+    buf.extend_from_slice(&payload);
+    Ok(buf)
+}
+
+/// Unwrap and verify a checksummed container produced by
+/// [`encode_container`].
+///
+/// # Errors
+///
+/// [`PersistError::BadHeader`] on wrong magic or unknown version,
+/// [`PersistError::Truncated`] when the file is shorter than the declared
+/// payload, [`PersistError::ChecksumMismatch`] on CRC failure, and any
+/// [`decode_scheme`] error for a corrupt payload that still checksums (only
+/// possible if the header itself was damaged consistently).
+pub fn decode_container(buf: &[u8]) -> Result<RoutingScheme, PersistError> {
+    if buf.len() < 4 || &buf[..4] != CONTAINER_MAGIC {
+        return Err(PersistError::BadHeader);
+    }
+    let mut pos = 4;
+    if rv(buf, &mut pos)? != CONTAINER_VERSION {
+        return Err(PersistError::BadHeader);
+    }
+    let len = rv(buf, &mut pos)? as usize;
+    if buf.len() < pos + 4 {
+        return Err(PersistError::Malformed);
+    }
+    let stored = u32::from_le_bytes(buf[pos..pos + 4].try_into().expect("4 bytes checked"));
+    pos += 4;
+    let found = buf.len() - pos;
+    if found < len {
+        return Err(PersistError::Truncated {
+            expected: len,
+            found,
+        });
+    }
+    if found > len {
+        return Err(PersistError::Malformed);
+    }
+    let payload = &buf[pos..];
+    let computed = crc32(payload);
+    if computed != stored {
+        return Err(PersistError::ChecksumMismatch { stored, computed });
+    }
+    decode_scheme(payload)
+}
+
+/// Write `scheme` to `path` inside the checksummed container.
+///
+/// # Errors
+///
+/// [`PersistError::UnsupportedMode`] for prior-baseline schemes and
+/// [`PersistError::Io`] on filesystem failures.
+pub fn save_scheme_to(
+    path: impl AsRef<std::path::Path>,
+    scheme: &RoutingScheme,
+) -> Result<(), PersistError> {
+    let bytes = encode_container(scheme)?;
+    std::fs::write(path, bytes).map_err(|e| PersistError::Io(e.to_string()))
+}
+
+/// Read a scheme back from `path`.
+///
+/// Accepts both the checksummed container and legacy raw [`encode_scheme`]
+/// files (magic `DRS1`) written before the container existed.
+///
+/// # Errors
+///
+/// [`PersistError::Io`] on filesystem failures, otherwise any
+/// [`decode_container`] / [`decode_scheme`] error.
+pub fn load_scheme_from(path: impl AsRef<std::path::Path>) -> Result<RoutingScheme, PersistError> {
+    let bytes = std::fs::read(path).map_err(|e| PersistError::Io(e.to_string()))?;
+    if bytes.len() >= 4 && &bytes[..4] == CONTAINER_MAGIC {
+        decode_container(&bytes)
+    } else {
+        decode_scheme(&bytes)
+    }
+}
 
 fn write_opt(buf: &mut Vec<u8>, v: Option<VertexId>) {
     write_varint(buf, v.map_or(0, |x| u64::from(x.0) + 1));
@@ -323,6 +476,82 @@ mod tests {
             encode_scheme(&built.scheme),
             Err(PersistError::UnsupportedMode)
         );
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE check values ("123456789" is the canonical one).
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn container_round_trips_through_disk() {
+        let (g, s) = scheme(50, 1106);
+        let path = std::env::temp_dir().join("drt-persist-roundtrip.drsc");
+        save_scheme_to(&path, &s).unwrap();
+        let back = load_scheme_from(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back.k, s.k);
+        assert_eq!(back.mode, s.mode);
+        for v in g.vertices() {
+            assert_eq!(back.tables[v.index()].entries, s.tables[v.index()].entries);
+            assert_eq!(back.labels[v.index()].entries, s.labels[v.index()].entries);
+            assert_eq!(back.pivot_info[v.index()], s.pivot_info[v.index()]);
+        }
+    }
+
+    #[test]
+    fn load_accepts_legacy_raw_scheme_files() {
+        let (_, s) = scheme(30, 1107);
+        let path = std::env::temp_dir().join("drt-persist-legacy.bin");
+        std::fs::write(&path, encode_scheme(&s).unwrap()).unwrap();
+        let back = load_scheme_from(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back.tables.len(), s.tables.len());
+    }
+
+    #[test]
+    fn container_truncation_is_typed() {
+        let (_, s) = scheme(30, 1108);
+        let full = encode_container(&s).unwrap();
+        let mut cut = full.clone();
+        cut.truncate(full.len() - 10);
+        match decode_container(&cut) {
+            Err(PersistError::Truncated { expected, found }) => {
+                assert_eq!(found + 10, expected, "10 payload bytes were removed");
+            }
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+        // Cutting into the fixed header before the CRC is Malformed, not Truncated.
+        assert!(matches!(
+            decode_container(&full[..6]),
+            Err(PersistError::Malformed)
+        ));
+    }
+
+    #[test]
+    fn container_corruption_is_typed() {
+        let (_, s) = scheme(30, 1109);
+        let mut bytes = encode_container(&s).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40; // flip a payload bit
+        assert!(matches!(
+            decode_container(&bytes),
+            Err(PersistError::ChecksumMismatch { .. })
+        ));
+        assert!(matches!(
+            decode_container(b"DRSX-----"),
+            Err(PersistError::BadHeader)
+        ));
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        assert!(matches!(
+            load_scheme_from("/nonexistent/drt-no-such-scheme.drsc"),
+            Err(PersistError::Io(_))
+        ));
     }
 
     #[test]

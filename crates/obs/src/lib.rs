@@ -52,6 +52,7 @@ pub mod json;
 pub mod metrics;
 pub mod profile;
 pub mod scaling;
+pub mod serve;
 pub mod traffic;
 
 pub use error::ParseError;

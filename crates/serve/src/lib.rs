@@ -1,0 +1,48 @@
+//! The query-serving plane: a persisted scheme answered at memory speed.
+//!
+//! The paper's scheme is built once and then queried forever; every other
+//! crate in this workspace prices the *build* (rounds, words, memory) or
+//! simulates the forwarding fabric round by round. This crate measures the
+//! *serving lifetime*: a [`Snapshot`] — graph plus routing scheme, loaded
+//! from the checksummed [`routing::persist`] container — is shared immutably
+//! (`Arc`) with a long-lived pool of worker threads ([`pool::ServePool`])
+//! that answer **route**, **distance-estimate**, and **trace** queries
+//! ([`query::Query`]) from preallocated per-worker response arenas: after
+//! the first few batches warm the buffers, the steady state allocates
+//! nothing, the same discipline as `congest::plane`.
+//!
+//! Determinism splits the way the bench suite splits it. The *simulated*
+//! side — query stream, query-kind mix, answered/unreachable partition,
+//! aggregate weight and hops, cross-check sampling, and an order-sensitive
+//! FNV answer checksum — is a pure function of `(snapshot, seed, config)`
+//! and is byte-identical at any thread count: batches are split into
+//! contiguous per-worker chunks and merged back in worker order, so global
+//! query order never depends on scheduling. The *wall* side — QPS,
+//! nearest-rank p50/p95/p99 per-query latency via [`obs::metrics`] — is
+//! machine truth, reported but never gated.
+//!
+//! Correctness is not assumed: a rate-configurable sample of served answers
+//! is re-derived through the central [`routing::router`] /
+//! [`routing::oracle::DistanceOracle`] and compared byte for byte
+//! ([`query::check_answer`]); any disagreement is a counted `mismatch`
+//! (expected 0, gated by tests and the CLI exit code).
+//!
+//! [`scenario`] supplies the seeded load generators: a *closed loop*
+//! (back-to-back batches — the maximum-throughput measurement) and an *open
+//! loop* (batches dispatched on a timed schedule at an offered QPS), plus a
+//! saturation sweep that finds the QPS knee the same way the traffic plane
+//! finds its rate knee. Results flow out as
+//! [`obs::serve::ServeSummary`] records.
+
+pub mod pool;
+pub mod query;
+pub mod scenario;
+pub mod snapshot;
+
+pub use pool::{BatchResult, ServePool};
+pub use query::{check_answer, Answer, Query, QueryKind};
+pub use scenario::{
+    generate_stream, run_closed, run_open, sweep_open, KneePoint, ServeConfig, ServeSlo,
+    ServeWorkload,
+};
+pub use snapshot::{SharedSnapshot, Snapshot};

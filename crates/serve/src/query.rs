@@ -1,0 +1,376 @@
+//! Queries, answers, the lean serving path, and the central cross-check.
+//!
+//! The serving path re-implements the forwarding walk of
+//! [`routing::router`] without its per-route `Vec` allocation: route
+//! queries count hops and sum weight in registers, trace queries write the
+//! path into a caller-owned arena. That independence is what makes the
+//! sampled cross-check meaningful — the served answer and the central
+//! answer come from two different code paths over the same tables, and
+//! [`check_answer`] demands they agree byte for byte.
+
+use graphs::{VertexId, Weight, INFINITY};
+use routing::oracle::DistanceOracle;
+use routing::router::{self, GraphRouteError, Selection};
+use routing::scheme::{LabelEntry, TreeLabelKind, TreeTableKind};
+use tree_routing::baseline;
+use tree_routing::types::{route_step, RouteAction};
+
+use crate::snapshot::Snapshot;
+
+/// What a query asks for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueryKind {
+    /// Route summary: weight, hops, committed tree.
+    Route,
+    /// Distance estimate from the `2k − 1` oracle.
+    Distance,
+    /// Full hop-by-hop path.
+    Trace,
+}
+
+/// One query: a kind and an endpoint pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Query {
+    /// What the client asked for.
+    pub kind: QueryKind,
+    /// Source vertex.
+    pub src: VertexId,
+    /// Destination vertex.
+    pub dst: VertexId,
+}
+
+/// One served answer. `Copy` and arena-indexed so batches of answers live
+/// in flat reusable buffers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Answer {
+    /// A completed route summary.
+    Route {
+        /// Total routed weight.
+        weight: Weight,
+        /// Edges traversed.
+        hops: u32,
+        /// Root of the committed tree.
+        tree_root: VertexId,
+        /// Hierarchy level of the chosen label entry.
+        level: u32,
+    },
+    /// A distance estimate ([`INFINITY`] never appears here; that case is
+    /// reported as [`Answer::Unreachable`]).
+    Distance {
+        /// The oracle's estimate.
+        estimate: Weight,
+    },
+    /// A completed trace; the path lives in the batch arena at
+    /// `paths[path_start .. path_start + path_len]`.
+    Trace {
+        /// Total routed weight.
+        weight: Weight,
+        /// Edges traversed.
+        hops: u32,
+        /// Root of the committed tree.
+        tree_root: VertexId,
+        /// Hierarchy level of the chosen label entry.
+        level: u32,
+        /// Offset of the path in the arena's path buffer.
+        path_start: u32,
+        /// Path length in vertices (hops + 1).
+        path_len: u32,
+    },
+    /// The endpoints share no tree (disconnected pair).
+    Unreachable,
+    /// The forwarding walk failed (stuck rule, bad forward, loop) — a
+    /// scheme-construction bug surfaced as a counted error, never a panic.
+    Error,
+}
+
+/// Source-optimal label-entry selection — the same `d̂(u,w) + d̂(w,v)`
+/// minimization as [`Selection::SourceOptimal`], re-derived locally.
+fn select_entry(snap: &Snapshot, src: VertexId, dst: VertexId) -> Option<&LabelEntry> {
+    let src_table = &snap.scheme.tables[src.index()];
+    let mut chosen: Option<(&LabelEntry, Weight)> = None;
+    for e in &snap.scheme.labels[dst.index()].entries {
+        let Some(te) = src_table.entry(e.pivot) else {
+            continue;
+        };
+        let cost = te.dist.saturating_add(e.dist);
+        if chosen.is_none_or(|(_, c)| cost < c) {
+            chosen = Some((e, cost));
+        }
+    }
+    chosen.map(|(e, _)| e)
+}
+
+/// Hop-by-hop walk in the tree `entry` names, feeding every visited vertex
+/// (source included) to `visit`. Returns `(weight, hops)`.
+fn walk(
+    snap: &Snapshot,
+    entry: &LabelEntry,
+    src: VertexId,
+    mut visit: impl FnMut(VertexId),
+) -> Result<(Weight, u32), ()> {
+    let w = entry.pivot;
+    let cap = 4 * snap.graph.num_vertices() + 4;
+    let mut cur = src;
+    let mut weight: Weight = 0;
+    let mut hops: u32 = 0;
+    visit(cur);
+    loop {
+        if hops as usize > cap {
+            return Err(()); // forwarding loop
+        }
+        let te = snap.scheme.tables[cur.index()].entry(w).ok_or(())?;
+        let action = match (&te.table, &entry.tree_label) {
+            (TreeTableKind::Ours(t), TreeLabelKind::Ours(l)) => route_step(cur, t, l),
+            (TreeTableKind::Prior(t), TreeLabelKind::Prior(l)) => baseline::decide(cur, t, l),
+            _ => None,
+        }
+        .ok_or(())?;
+        match action {
+            RouteAction::Deliver => return Ok((weight, hops)),
+            RouteAction::Forward(next) => {
+                let ew = snap.graph.edge_weight(cur, next).ok_or(())?;
+                weight += ew;
+                hops += 1;
+                cur = next;
+                visit(cur);
+            }
+        }
+    }
+}
+
+/// Answer one query against the snapshot. Trace paths are appended to
+/// `paths` (the per-worker arena); all other answers touch no memory
+/// beyond the tables themselves.
+pub fn answer_query(
+    snap: &Snapshot,
+    oracle: &DistanceOracle<'_>,
+    q: Query,
+    paths: &mut Vec<VertexId>,
+) -> Answer {
+    match q.kind {
+        QueryKind::Route => {
+            if q.src == q.dst {
+                return Answer::Route {
+                    weight: 0,
+                    hops: 0,
+                    tree_root: q.src,
+                    level: 0,
+                };
+            }
+            let Some(entry) = select_entry(snap, q.src, q.dst) else {
+                return Answer::Unreachable;
+            };
+            match walk(snap, entry, q.src, |_| {}) {
+                Ok((weight, hops)) => Answer::Route {
+                    weight,
+                    hops,
+                    tree_root: entry.pivot,
+                    level: entry.level as u32,
+                },
+                Err(()) => Answer::Error,
+            }
+        }
+        QueryKind::Distance => {
+            let estimate = oracle.query(q.src, q.dst);
+            if estimate == INFINITY {
+                Answer::Unreachable
+            } else {
+                Answer::Distance { estimate }
+            }
+        }
+        QueryKind::Trace => {
+            let path_start = paths.len() as u32;
+            if q.src == q.dst {
+                paths.push(q.src);
+                return Answer::Trace {
+                    weight: 0,
+                    hops: 0,
+                    tree_root: q.src,
+                    level: 0,
+                    path_start,
+                    path_len: 1,
+                };
+            }
+            let Some(entry) = select_entry(snap, q.src, q.dst) else {
+                return Answer::Unreachable;
+            };
+            match walk(snap, entry, q.src, |v| paths.push(v)) {
+                Ok((weight, hops)) => Answer::Trace {
+                    weight,
+                    hops,
+                    tree_root: entry.pivot,
+                    level: entry.level as u32,
+                    path_start,
+                    path_len: hops + 1,
+                },
+                Err(()) => {
+                    paths.truncate(path_start as usize); // discard the partial path
+                    Answer::Error
+                }
+            }
+        }
+    }
+}
+
+/// Re-derive `answer` through the central [`routing::router`] /
+/// [`DistanceOracle`] and compare byte for byte. Returns `true` when the
+/// served answer is exactly what the central path produces.
+pub fn check_answer(
+    snap: &Snapshot,
+    oracle: &DistanceOracle<'_>,
+    q: Query,
+    answer: Answer,
+    paths: &[VertexId],
+) -> bool {
+    match q.kind {
+        QueryKind::Route | QueryKind::Trace => {
+            let central = router::route_with(
+                &snap.graph,
+                &snap.scheme,
+                q.src,
+                q.dst,
+                Selection::SourceOptimal,
+            );
+            match (central, answer) {
+                (
+                    Ok(t),
+                    Answer::Route {
+                        weight,
+                        hops,
+                        tree_root,
+                        level,
+                    },
+                ) => {
+                    t.weight == weight
+                        && t.hops() == hops as usize
+                        && t.tree_root == tree_root
+                        && t.level == level as usize
+                }
+                (
+                    Ok(t),
+                    Answer::Trace {
+                        weight,
+                        hops,
+                        tree_root,
+                        level,
+                        path_start,
+                        path_len,
+                    },
+                ) => {
+                    let served = &paths[path_start as usize..(path_start + path_len) as usize];
+                    t.weight == weight
+                        && t.hops() == hops as usize
+                        && t.tree_root == tree_root
+                        && t.level == level as usize
+                        && t.path == served
+                }
+                (Err(GraphRouteError::NoCommonTree), Answer::Unreachable) => true,
+                (Err(_), Answer::Error) => true,
+                _ => false,
+            }
+        }
+        QueryKind::Distance => {
+            let central = oracle.query(q.src, q.dst);
+            match answer {
+                Answer::Distance { estimate } => estimate == central,
+                Answer::Unreachable => central == INFINITY,
+                _ => false,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::Snapshot;
+    use graphs::generators;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use routing::scheme::{build, BuildParams};
+
+    fn snap(n: usize, seed: u64) -> crate::SharedSnapshot {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = generators::erdos_renyi_connected(n, 3.0 / n as f64, 1..=9, &mut rng);
+        let built = build(&g, &BuildParams::new(2), &mut rng);
+        Snapshot::share(g, built.scheme)
+    }
+
+    #[test]
+    fn lean_route_matches_central_router_exactly() {
+        let s = snap(60, 0x5E01);
+        let oracle = DistanceOracle::new(&s.scheme);
+        let mut paths = Vec::new();
+        for a in 0..60u32 {
+            let b = (a * 7 + 13) % 60;
+            let q = Query {
+                kind: QueryKind::Route,
+                src: VertexId(a),
+                dst: VertexId(b),
+            };
+            let ans = answer_query(&s, &oracle, q, &mut paths);
+            assert!(check_answer(&s, &oracle, q, ans, &paths), "pair {a}->{b}");
+        }
+    }
+
+    #[test]
+    fn trace_paths_land_in_the_arena() {
+        let s = snap(40, 0x5E02);
+        let oracle = DistanceOracle::new(&s.scheme);
+        let mut paths = Vec::new();
+        let q = Query {
+            kind: QueryKind::Trace,
+            src: VertexId(0),
+            dst: VertexId(39),
+        };
+        let ans = answer_query(&s, &oracle, q, &mut paths);
+        let Answer::Trace {
+            hops,
+            path_start,
+            path_len,
+            ..
+        } = ans
+        else {
+            panic!("expected a trace, got {ans:?}");
+        };
+        assert_eq!(path_len, hops + 1);
+        let served = &paths[path_start as usize..(path_start + path_len) as usize];
+        assert_eq!(served.first(), Some(&VertexId(0)));
+        assert_eq!(served.last(), Some(&VertexId(39)));
+        assert!(check_answer(&s, &oracle, q, ans, &paths));
+    }
+
+    #[test]
+    fn distance_estimate_matches_the_oracle() {
+        let s = snap(50, 0x5E03);
+        let oracle = DistanceOracle::new(&s.scheme);
+        let mut paths = Vec::new();
+        let q = Query {
+            kind: QueryKind::Distance,
+            src: VertexId(3),
+            dst: VertexId(47),
+        };
+        match answer_query(&s, &oracle, q, &mut paths) {
+            Answer::Distance { estimate } => {
+                assert_eq!(estimate, oracle.query(VertexId(3), VertexId(47)));
+            }
+            other => panic!("expected an estimate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn self_queries_are_trivial() {
+        let s = snap(30, 0x5E04);
+        let oracle = DistanceOracle::new(&s.scheme);
+        let mut paths = Vec::new();
+        for kind in [QueryKind::Route, QueryKind::Distance, QueryKind::Trace] {
+            let q = Query {
+                kind,
+                src: VertexId(7),
+                dst: VertexId(7),
+            };
+            let ans = answer_query(&s, &oracle, q, &mut paths);
+            assert!(check_answer(&s, &oracle, q, ans, &paths), "{kind:?}");
+        }
+    }
+}

@@ -6,15 +6,17 @@
 //! ```text
 //! drt generate <family> <n> [seed]          # emit an edge list to stdout
 //! drt info     <graph-file>                 # n, m, D, S, degrees, aspect ratio
-//! drt build    <graph-file> <k> <out-file>  # preprocess; save scheme bytes
-//! drt route    <graph-file> <scheme-file> <src> <dst> [--load <p>] [--seed <s>]
-//! drt query    <graph-file> <scheme-file> <src> <dst>   # oracle distance
-//! drt trace    <graph-file> <scheme-file> <src> <dst>   # flight-recorded send
+//! drt build    <graph-file> <k> [<out>|--out <file>]  # preprocess; save checksummed scheme
+//! drt route    <graph-file> [<scheme>|--scheme <f>] <src> <dst> [--load <p>] [--seed <s>]
+//! drt query    <graph-file> [<scheme>|--scheme <f>] <src> <dst>  # oracle distance
+//! drt trace    <graph-file> [<scheme>|--scheme <f>] <src> <dst>  # flight-recorded send
 //! drt stretch  <graph-file> <scheme-file> [sources]     # stretch statistics
-//! drt audit    <graph-file> <scheme-file> [--sample <pairs>] [--seed <s>]
+//! drt audit    <graph-file> [<scheme>|--scheme <f>] [--sample <pairs>] [--seed <s>]
 //!              [--kill-edges <p>] [--kill-vertices <p>] [--report <path>] [--json]
 //! drt traffic  <graph-file> <scheme-file> [--workload <w>] [--rate <r,...>] ...
 //! drt churn    <graph-file> <scheme-file> [--process <p>] [--rate <f>] [--rounds <n>] ...
+//! drt serve    <graph-file> [--scheme <f>] [--queries <q>] [--batch <b>] [--workload <w>]
+//!              [--seed <s>] [--check-rate <f>] [--open <qps,...>] [--threads <t>] [--json]
 //! drt report   <report-file> [--json]                   # validate a JSONL report
 //! drt bench    [--smoke|--quick|--full] [--label <l>] [--out <path>] [--repeats <r>] [--threads <t>]
 //! drt compare  <old.json> <new.json> [--sim-tol <f>] [--wall-tol <f>] [--wall-gate]
@@ -71,6 +73,24 @@
 //! breach. `--report` writes a `churn_timeline` record; `--json` prints it.
 //! One-shot `drt audit --kill-edges/--kill-vertices` is the single-event
 //! case of the same overlay machinery.
+//!
+//! `drt serve` runs the query-serving plane (crate `serve`): the persisted
+//! scheme is loaded into an immutable shared snapshot and a long-lived
+//! worker pool answers a seeded stream of route / distance-estimate / trace
+//! queries, each answer sampled (`--check-rate`) for a byte-identical
+//! cross-check against the central router and distance oracle. The default
+//! closed loop dispatches batches back to back and reports the saturation
+//! QPS with nearest-rank p50/p95/p99 per-query latency; `--open
+//! <qps,...>` instead walks an offered-rate ladder on a timed schedule and
+//! reports the knee — the largest rate still absorbed within the SLO — the
+//! serving-side analog of `drt traffic`'s saturation search. Simulated
+//! columns (query mix, outcome split, aggregate weight/hops, checks,
+//! mismatches, answer checksum) are byte-identical at any `--threads`
+//! count and in both loop modes; QPS and latency are wall-clock and
+//! advisory. `--report` writes one `serve_summary` record per run (one per
+//! rung under `--open`); the command exits nonzero on any cross-check
+//! mismatch or internal serving error. Without `--scheme` it builds a
+//! `k = 2` scheme on the fly, matching `drt build`'s fixed seed.
 //!
 //! `drt build` and `drt bench` accept `--threads <t>` (or `DRT_THREADS`;
 //! default: all available cores) to run the engine-backed phases on a worker
@@ -139,13 +159,14 @@ fn main() -> ExitCode {
         Some("audit") => cmd_audit(&args[1..], &opts),
         Some("traffic") => cmd_traffic(&args[1..], &opts),
         Some("churn") => cmd_churn(&args[1..], &opts),
+        Some("serve") => cmd_serve(&args[1..], &opts),
         Some("report") => cmd_report(&args[1..], &opts),
         Some("bench") => cmd_bench(&args[1..], &opts),
         Some("compare") => cmd_compare(&args[1..]),
         Some("profile") => cmd_profile(&args[1..], &opts),
         _ => {
             eprintln!(
-                "usage: drt <generate|info|build|route|query|trace|stretch|audit|traffic|churn|report|bench|compare|profile> ... (see crate docs)"
+                "usage: drt <generate|info|build|route|query|trace|stretch|audit|traffic|churn|serve|report|bench|compare|profile> ... (see crate docs)"
             );
             return ExitCode::FAILURE;
         }
@@ -229,9 +250,26 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_build(args: &[String], opts: &obs::cli::ReportOptions) -> Result<(), String> {
-    let [graph_path, k, out_path] = args else {
-        return Err("build <graph-file> <k> <out-file> [--report <path>] [--threads <t>]".into());
+    let mut positional = Vec::new();
+    let mut out_flag: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => out_flag = Some(it.next().ok_or("--out needs a file path")?.clone()),
+            other => positional.push(other.to_string()),
+        }
+    }
+    let usage =
+        "build <graph-file> <k> [<out-file>|--out <file>] [--report <path>] [--threads <t>]";
+    let (graph_path, k, out_path) = match positional.as_slice() {
+        [g, k, out] if out_flag.is_none() => (g.clone(), k.clone(), out.clone()),
+        [g, k] => match out_flag {
+            Some(out) => (g.clone(), k.clone(), out),
+            None => return Err(usage.into()),
+        },
+        _ => return Err(usage.into()),
     };
+    let (graph_path, k, out_path) = (&graph_path, &k, &out_path);
     let g = load_graph(graph_path)?;
     let k: usize = k.parse().map_err(|_| format!("bad k '{k}'"))?;
     if k < 2 {
@@ -249,7 +287,9 @@ fn cmd_build(args: &[String], opts: &obs::cli::ReportOptions) -> Result<(), Stri
     let params = BuildParams::new(k).with_threads(opts.resolved_threads());
     let built = build_observed(&g, &params, &mut rng, &mut rec);
     rec.end_with_memory(span, built.report.memory.peaks());
-    let bytes = persist::encode_scheme(&built.scheme).map_err(|e| e.to_string())?;
+    // The checksummed container (magic + version + length + CRC32 over the
+    // payload), so downstream subcommands detect truncation and bit rot.
+    let bytes = persist::encode_container(&built.scheme).map_err(|e| e.to_string())?;
     std::fs::write(out_path, &bytes).map_err(|e| format!("writing {out_path}: {e}"))?;
     let r = &built.report;
     println!("built k = {k} scheme for n = {}:", g.num_vertices());
@@ -276,14 +316,39 @@ fn cmd_build(args: &[String], opts: &obs::cli::ReportOptions) -> Result<(), Stri
 }
 
 fn load_scheme(path: &str) -> Result<routing::RoutingScheme, String> {
-    let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
-    persist::decode_scheme(&bytes).map_err(|e| format!("decoding {path}: {e}"))
+    // Accepts both the checksummed container and legacy raw scheme files.
+    persist::load_scheme_from(path).map_err(|e| format!("loading {path}: {e}"))
+}
+
+/// Resolve the scheme a subcommand routes with: an explicit `--scheme <file>`
+/// wins, else a positional scheme path, else build a `k = 2` scheme on the
+/// fly with the same fixed seed `drt build` uses.
+fn resolve_scheme(
+    g: &Graph,
+    flag: Option<&str>,
+    positional: Option<&str>,
+) -> Result<routing::RoutingScheme, String> {
+    if let Some(path) = flag.or(positional) {
+        let scheme = load_scheme(path)?;
+        if scheme.tables.len() != g.num_vertices() {
+            return Err(format!(
+                "scheme covers {} vertices but the graph has {}",
+                scheme.tables.len(),
+                g.num_vertices()
+            ));
+        }
+        Ok(scheme)
+    } else {
+        let mut rng = ChaCha8Rng::seed_from_u64(0xD27);
+        Ok(routing::scheme::build(g, &BuildParams::new(2), &mut rng).scheme)
+    }
 }
 
 fn cmd_route(args: &[String], oracle_only: bool) -> Result<(), String> {
     let mut positional = Vec::new();
     let mut load: Option<usize> = None;
     let mut seed: u64 = 42;
+    let mut scheme_flag: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -295,17 +360,25 @@ fn cmd_route(args: &[String], oracle_only: bool) -> Result<(), String> {
                 let v = it.next().ok_or("--seed needs a value")?;
                 seed = v.parse().map_err(|_| format!("bad seed '{v}'"))?;
             }
+            "--scheme" => {
+                scheme_flag = Some(it.next().ok_or("--scheme needs a file path")?.clone());
+            }
             other => positional.push(other.to_string()),
         }
     }
-    let [graph_path, scheme_path, src, dst] = positional.as_slice() else {
-        return Err(
-            "route|query <graph-file> <scheme-file> <src> <dst> [--load <packets>] [--seed <s>]"
-                .into(),
-        );
+    let (graph_path, scheme_pos, src, dst) = match positional.as_slice() {
+        [g, s, a, b] if scheme_flag.is_none() => (g, Some(s.as_str()), a, b),
+        [g, a, b] => (g, None, a, b),
+        _ => {
+            return Err(
+                "route|query <graph-file> [<scheme-file>|--scheme <file>] <src> <dst> \
+                 [--load <packets>] [--seed <s>]"
+                    .into(),
+            )
+        }
     };
     let g = load_graph(graph_path)?;
-    let scheme = load_scheme(scheme_path)?;
+    let scheme = resolve_scheme(&g, scheme_flag.as_deref(), scheme_pos)?;
     let s = parse_vertex(&g, src)?;
     let t = parse_vertex(&g, dst)?;
     let exact = shortest_paths::dijkstra(&g, s)[t.index()];
@@ -385,11 +458,28 @@ fn cmd_route(args: &[String], oracle_only: bool) -> Result<(), String> {
 }
 
 fn cmd_trace(args: &[String], opts: &obs::cli::ReportOptions) -> Result<(), String> {
-    let [graph_path, scheme_path, src, dst] = args else {
-        return Err("trace <graph-file> <scheme-file> <src> <dst> [--report <path>]".into());
-    };
+    let mut positional = Vec::new();
+    let mut scheme_flag: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scheme" => {
+                scheme_flag = Some(it.next().ok_or("--scheme needs a file path")?.clone());
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+    let (graph_path, scheme_pos, src, dst) =
+        match positional.as_slice() {
+            [g, s, a, b] if scheme_flag.is_none() => (g, Some(s.as_str()), a, b),
+            [g, a, b] => (g, None, a, b),
+            _ => return Err(
+                "trace <graph-file> [<scheme-file>|--scheme <file>] <src> <dst> [--report <path>]"
+                    .into(),
+            ),
+        };
     let g = load_graph(graph_path)?;
-    let scheme = load_scheme(scheme_path)?;
+    let scheme = resolve_scheme(&g, scheme_flag.as_deref(), scheme_pos)?;
     let s = parse_vertex(&g, src)?;
     let t = parse_vertex(&g, dst)?;
     let central = router::route(&g, &scheme, s, t);
@@ -494,6 +584,7 @@ fn cmd_audit(args: &[String], opts: &obs::cli::ReportOptions) -> Result<(), Stri
     let mut cfg = AuditConfig::default();
     let mut kill_edges = 0.0f64;
     let mut kill_vertices = 0.0f64;
+    let mut scheme_flag: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut prob = |name: &str| -> Result<f64, String> {
@@ -516,25 +607,27 @@ fn cmd_audit(args: &[String], opts: &obs::cli::ReportOptions) -> Result<(), Stri
             }
             "--kill-edges" => kill_edges = prob("--kill-edges")?,
             "--kill-vertices" => kill_vertices = prob("--kill-vertices")?,
+            "--scheme" => {
+                scheme_flag = Some(it.next().ok_or("--scheme needs a file path")?.clone());
+            }
             other => positional.push(other.to_string()),
         }
     }
-    let [graph_path, scheme_path] = positional.as_slice() else {
-        return Err(
-            "audit <graph-file> <scheme-file> [--sample <pairs>] [--seed <s>] \
-             [--kill-edges <p>] [--kill-vertices <p>] [--report <path>] [--json]"
-                .into(),
-        );
+    let (graph_path, scheme_pos) = match positional.as_slice() {
+        [g, s] if scheme_flag.is_none() => (g, Some(s.as_str())),
+        [g] => (g, None),
+        _ => {
+            return Err(
+                "audit <graph-file> [<scheme-file>|--scheme <file>] [--sample <pairs>] \
+                 [--seed <s>] [--kill-edges <p>] [--kill-vertices <p>] [--report <path>] [--json]"
+                    .into(),
+            )
+        }
     };
+    let scheme_path = scheme_flag.as_deref().or(scheme_pos).unwrap_or("(built)");
+    let scheme_path = scheme_path.to_string();
     let g = load_graph(graph_path)?;
-    let scheme = load_scheme(scheme_path)?;
-    if scheme.tables.len() != g.num_vertices() {
-        return Err(format!(
-            "scheme covers {} vertices but the graph has {}",
-            scheme.tables.len(),
-            g.num_vertices()
-        ));
-    }
+    let scheme = resolve_scheme(&g, scheme_flag.as_deref(), scheme_pos)?;
 
     let out = audit::audit(&g, &scheme, &cfg);
     let perturbed = if kill_edges > 0.0 || kill_vertices > 0.0 {
@@ -737,6 +830,11 @@ fn cmd_report(args: &[String], opts: &obs::cli::ReportOptions) -> Result<(), Str
                 // identity, so a record that parses here is internally
                 // consistent.
                 check(obs::audit::SchemeAudit::from_value(record).map(|_| ()))?;
+            }
+            "serve_summary" => {
+                // `from_value` re-checks the query partition identities
+                // (kind mix, outcome split, checks vs mismatches).
+                check(obs::serve::ServeSummary::from_value(record).map(|_| ()))?;
             }
             "churn_timeline" => {
                 // `from_value` re-checks per-round probe partition, traffic
@@ -1570,4 +1668,221 @@ fn cmd_churn(args: &[String], opts: &obs::cli::ReportOptions) -> Result<(), Stri
         }
     }
     Ok(())
+}
+
+fn cmd_serve(args: &[String], opts: &obs::cli::ReportOptions) -> Result<(), String> {
+    let mut positional = Vec::new();
+    let mut scheme_flag: Option<String> = None;
+    let mut cfg = serve::ServeConfig::default();
+    let mut open_rates: Option<Vec<f64>> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scheme" => {
+                scheme_flag = Some(it.next().ok_or("--scheme needs a file path")?.clone());
+            }
+            "--queries" => {
+                let v = it.next().ok_or("--queries needs a count")?;
+                cfg.queries = v.parse().map_err(|_| format!("bad query count '{v}'"))?;
+            }
+            "--batch" => {
+                let v = it.next().ok_or("--batch needs a size")?;
+                let b: usize = v.parse().map_err(|_| format!("bad batch size '{v}'"))?;
+                if b == 0 {
+                    return Err("--batch must be at least 1".into());
+                }
+                cfg.batch = b;
+            }
+            "--workload" => {
+                let v = it.next().ok_or("--workload needs a name")?;
+                cfg.workload = serve::ServeWorkload::parse(v).ok_or(format!(
+                    "unknown workload '{v}' (uniform|hotspot|adversarial)"
+                ))?;
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                cfg.seed = v.parse().map_err(|_| format!("bad seed '{v}'"))?;
+            }
+            "--check-rate" => {
+                let v = it.next().ok_or("--check-rate needs a fraction")?;
+                let r: f64 = v.parse().map_err(|_| format!("bad check rate '{v}'"))?;
+                if !(0.0..=1.0).contains(&r) {
+                    return Err(format!("--check-rate must be in [0, 1], got {r}"));
+                }
+                cfg.check_rate = r;
+            }
+            "--open" => {
+                let v = it
+                    .next()
+                    .ok_or("--open needs a qps list (e.g. 1e5,5e5,1e6)")?;
+                let rates: Result<Vec<f64>, String> = v
+                    .split(',')
+                    .map(|r| r.parse::<f64>().map_err(|_| format!("bad qps '{r}'")))
+                    .collect();
+                open_rates = Some(rates?);
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+    let [graph_path] = positional.as_slice() else {
+        return Err(
+            "serve <graph-file> [--scheme <file>] [--queries <q>] [--batch <b>] \
+             [--workload uniform|hotspot|adversarial] [--seed <s>] [--check-rate <f>] \
+             [--open <qps,...>] [--threads <t>] [--report <path>] [--json]"
+                .into(),
+        );
+    };
+    let g = load_graph(graph_path)?;
+    if g.num_vertices() < 2 {
+        return Err("serving needs a graph with at least 2 vertices".into());
+    }
+    let scheme = resolve_scheme(&g, scheme_flag.as_deref(), None)?;
+    cfg.threads = opts.resolved_threads();
+    let scheme_name = scheme_flag.as_deref().unwrap_or("(built)").to_string();
+    let snapshot = serve::Snapshot::share(g, scheme);
+    let stream = serve::generate_stream(&snapshot, &cfg);
+    let mut pool = serve::ServePool::start(snapshot.clone(), cfg.threads);
+
+    let summaries: Vec<serve::KneePoint> = match &open_rates {
+        None => {
+            let summary = serve::run_closed(&mut pool, &stream, &cfg);
+            vec![serve::KneePoint {
+                offered: 0.0,
+                summary,
+            }]
+        }
+        Some(rates) => {
+            let slo = serve::ServeSlo::default();
+            let (points, knee) = serve::sweep_open(&mut pool, &stream, &cfg, rates, &slo);
+            if !opts.json {
+                print_serve_sweep(&points, knee, &slo);
+            }
+            points
+        }
+    };
+
+    if opts.json {
+        for (i, p) in summaries.iter().enumerate() {
+            println!("{}", p.summary.to_value(&[("sweep", Value::from(i))]));
+        }
+    } else if open_rates.is_none() {
+        print_serve_summary(&summaries[0].summary, graph_path, &scheme_name, &snapshot);
+    }
+
+    if let Some(path) = &opts.report {
+        let mut rec = obs::Recorder::when(true);
+        for (i, p) in summaries.iter().enumerate() {
+            rec.add_record(p.summary.to_value(&[("sweep", Value::from(i))]));
+        }
+        rec.write_report(
+            path,
+            "drt-serve",
+            &[
+                ("graph", Value::from(graph_path.as_str())),
+                ("scheme", Value::from(scheme_name.as_str())),
+                ("n", Value::from(snapshot.graph.num_vertices())),
+                ("k", Value::from(snapshot.scheme.k)),
+            ],
+        )
+        .map_err(|e| format!("writing report {}: {e}", path.display()))?;
+        if !opts.json {
+            println!("report written to {}", path.display());
+        }
+    }
+
+    let mismatches: u64 = summaries.iter().map(|p| p.summary.mismatches).sum();
+    let errors: u64 = summaries.iter().map(|p| p.summary.errors).sum();
+    if mismatches > 0 || errors > 0 {
+        return Err(format!(
+            "serving diverged from the central router: {mismatches} cross-check mismatch(es), \
+             {errors} internal error(s)"
+        ));
+    }
+    Ok(())
+}
+
+fn print_serve_summary(
+    s: &obs::serve::ServeSummary,
+    graph_path: &str,
+    scheme_name: &str,
+    snapshot: &serve::Snapshot,
+) {
+    println!(
+        "served {} queries on {graph_path} (n = {}, k = {}, scheme {scheme_name}): \
+         {} workload, {} loop, {} thread{}, batch {}",
+        s.queries,
+        snapshot.graph.num_vertices(),
+        snapshot.scheme.k,
+        s.workload,
+        s.mode,
+        s.threads,
+        if s.threads == 1 { "" } else { "s" },
+        s.batch
+    );
+    println!(
+        "  mix          : {} route / {} distance / {} trace",
+        s.route_queries, s.distance_queries, s.trace_queries
+    );
+    println!(
+        "  outcomes     : {} answered, {} unreachable, {} errors",
+        s.answered, s.unreachable, s.errors
+    );
+    println!(
+        "  cross-checks : {} sampled (rate {:.2}), {} mismatches",
+        s.checks, s.check_rate, s.mismatches
+    );
+    println!(
+        "  throughput   : {:.3} Mqps ({} queries in {:.2} ms)",
+        s.qps / 1e6,
+        s.queries,
+        s.wall_ns as f64 / 1e6
+    );
+    println!(
+        "  latency ns   : p50 {}  p95 {}  p99 {}",
+        s.p50_ns, s.p95_ns, s.p99_ns
+    );
+    println!(
+        "  aggregates   : total weight {}, total hops {}, checksum {:#018x}",
+        s.total_weight, s.total_hops, s.answer_checksum
+    );
+}
+
+fn print_serve_sweep(points: &[serve::KneePoint], knee: Option<usize>, slo: &serve::ServeSlo) {
+    println!(
+        "open-loop sweep ({} rung{}, SLO: achieved >= {:.0}% of offered, p99 <= {:.2} ms):",
+        points.len(),
+        if points.len() == 1 { "" } else { "s" },
+        slo.min_delivered * 100.0,
+        slo.max_p99_ns as f64 / 1e6
+    );
+    println!(
+        "{:>12} {:>12} {:>9} {:>9} {:>9} {:>9}  verdict",
+        "offered", "achieved", "del%", "p50 ns", "p99 ns", "misses"
+    );
+    for p in points {
+        let s = &p.summary;
+        let delivered = if p.offered > 0.0 {
+            s.qps / p.offered
+        } else {
+            1.0
+        };
+        let ok = delivered >= slo.min_delivered && s.p99_ns <= slo.max_p99_ns;
+        println!(
+            "{:>12.0} {:>12.0} {:>8.1}% {:>9} {:>9} {:>9}  {}",
+            p.offered,
+            s.qps,
+            delivered * 100.0,
+            s.p50_ns,
+            s.p99_ns,
+            s.mismatches,
+            if ok { "ok" } else { "over the knee" }
+        );
+    }
+    match knee {
+        Some(i) => println!(
+            "knee: {:.0} offered qps (achieved {:.0})",
+            points[i].offered, points[i].summary.qps
+        ),
+        None => println!("knee: none — every rung violated the SLO"),
+    }
 }

@@ -267,7 +267,7 @@ fn drt_bench_thread_counts_diff_cleanly() {
     assert_eq!(d1.env.threads, 1);
     assert_eq!(d2.env.threads, 2);
     assert!(d1.speedup.is_empty());
-    assert_eq!(d2.speedup.len(), 5, "one speedup entry per suite group");
+    assert_eq!(d2.speedup.len(), 6, "one speedup entry per suite group");
 
     let ok = Command::new(drt)
         .arg("compare")
